@@ -1,0 +1,33 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table/figure from the paper and prints
+the same rows/series the paper reports. ``REPRO_BENCH_FULL=1`` switches
+from the quick profile (1 seed, reduced workload scale) to the full one
+(3 seeds, full scale).
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get('REPRO_BENCH_FULL', '') not in ('', '0')
+
+
+@pytest.fixture
+def quick():
+    return not FULL
+
+
+@pytest.fixture
+def run_figure(benchmark, capsys):
+    """Run a figure driver exactly once under pytest-benchmark and
+    print its table."""
+    def runner(figure_fn, **kwargs):
+        result = benchmark.pedantic(figure_fn, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(result.table())
+            print()
+        return result
+    return runner

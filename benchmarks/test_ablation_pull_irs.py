@@ -1,0 +1,60 @@
+"""Extension: pull-based IRS (the paper's Section 6 future work).
+
+Compares push-based IRS (scheduler activations), pull-based IRS (idle
+vCPUs steal frozen tasks off preempted siblings — no hypervisor change
+at all), and the combination, across blocking and spinning workloads.
+"""
+
+from repro.core import install_irs, install_pull_irs
+from repro.experiments import InterferenceSpec, build_scenario
+from repro.experiments.reporting import format_table
+from repro.simkernel.units import MS, SEC
+from repro.workloads import ParallelWorkload, get_profile
+
+MODES = ('vanilla', 'push', 'pull', 'both')
+
+
+def _run(app, mode, seed=0):
+    scenario = build_scenario(seed=seed,
+                              interference=InterferenceSpec('hogs', 1))
+    if mode in ('push', 'both'):
+        install_irs(scenario.machine, [scenario.fg_kernel])
+    if mode in ('pull', 'both'):
+        install_pull_irs(scenario.machine, [scenario.fg_kernel])
+    workload = ParallelWorkload(scenario.sim, scenario.fg_kernel,
+                                get_profile(app), scale=0.5).install()
+    sim = scenario.sim
+    while not workload.is_done and sim.now < 240 * SEC:
+        sim.run_until(sim.now + 50 * MS)
+    assert workload.is_done
+    return workload.makespan_ns()
+
+
+def test_pull_vs_push_irs(benchmark, capsys, quick):
+    def ablation():
+        rows = []
+        spans = {}
+        for app in ('streamcluster', 'UA'):
+            spans[app] = {mode: _run(app, mode) for mode in MODES}
+            base = spans[app]['vanilla']
+            rows.append([app] + ['%+.0f%%' % ((base / spans[app][m] - 1) * 100)
+                                 for m in MODES[1:]])
+        table = format_table(['app', 'push', 'pull', 'push+pull'], rows,
+                             title='Extension: push vs pull IRS (1 hog)')
+        return spans, table
+
+    spans, table = benchmark.pedantic(ablation, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)
+        print()
+    for app in spans:
+        base = spans[app]['vanilla']
+        # Push wins for blocking (immediate rescue) and pull helps too.
+        assert spans[app]['push'] < base
+        # Pull requires idle vCPUs, so it only helps blocking apps;
+        # spinning apps never idle and pull alone changes nothing.
+        if app == 'streamcluster':
+            assert spans[app]['pull'] < base * 0.95
+        # The combination is never worse than push alone (within noise).
+        assert spans[app]['both'] <= spans[app]['push'] * 1.05

@@ -1,0 +1,78 @@
+"""Ablation: hypervisor time-slice length.
+
+The LHP stall is one scheduler slice long (30 ms in Xen, 6 ms in KVM,
+50 ms in VMware — Section 3.1), so the *tail latency* a preemption
+inflicts tracks the slice directly. This sweep reproduces that: vanilla
+p99 grows with the slice while IRS keeps it near the service time; for
+throughput-bound parallel runs the slice matters far less (the
+contended vCPU's 50% bandwidth dominates).
+"""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.strategies import apply_strategy
+from repro.experiments.topology import InterferenceSpec
+from repro.guestos import GuestKernel
+from repro.hypervisor import CreditConfig, Machine, VM
+from repro.simkernel import Simulator
+from repro.simkernel.units import MS, SEC
+from repro.workloads import SpecJbbWorkload, cpu_hog
+
+SLICES_MS = (6, 30, 90)
+
+
+def _run(slice_ms, strategy, seed=0):
+    sim = Simulator(seed=seed)
+    tick_ns = min(10 * MS, (slice_ms * MS) // 3)
+    config = CreditConfig(tslice_ns=slice_ms * MS, tick_ns=tick_ns,
+                          accounting_ns=max(30 * MS, slice_ms * MS))
+    machine = Machine(sim, n_pcpus=4, credit_config=config)
+    vm = VM('fg', 4, sim)
+    machine.add_vm(vm, pinning=[0, 1, 2, 3])
+    kernel = GuestKernel(sim, vm, machine)
+    hog_vm = VM('hog', 1, sim)
+    machine.add_vm(hog_vm, pinning=[0])
+    GuestKernel(sim, hog_vm, machine).spawn('hog', cpu_hog(10 * MS))
+    apply_strategy(machine, strategy,
+                   irs_kernels=[kernel] if strategy == 'irs' else ())
+    machine.start()
+    server = SpecJbbWorkload(sim, kernel).install()
+    sim.run_until(500 * MS)
+    server.latency.samples.clear()
+    server.completed = 0
+    server.started_at = sim.now
+    sim.run_until(sim.now + 3 * SEC)
+    return server.latency
+
+
+def test_slice_length_sets_the_stall_tail(benchmark, capsys, quick):
+    def ablation():
+        rows = []
+        stats = {}
+        for slice_ms in SLICES_MS:
+            vanilla = _run(slice_ms, 'vanilla')
+            irs = _run(slice_ms, 'irs')
+            stats[slice_ms] = (vanilla.p99(), vanilla.max(),
+                               irs.p99(), irs.max())
+            rows.append(['%d ms' % slice_ms,
+                         '%.1f' % (vanilla.p99() / 1e6),
+                         '%.1f' % (vanilla.max() / 1e6),
+                         '%.1f' % (irs.p99() / 1e6),
+                         '%.1f' % (irs.max() / 1e6)])
+        table = format_table(
+            ['slice', 'vanilla p99', 'vanilla max', 'IRS p99', 'IRS max'],
+            rows,
+            title='Ablation: slice length vs SPECjbb latency, ms (1 hog)')
+        return stats, table
+
+    stats, table = benchmark.pedantic(ablation, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)
+        print()
+    # The vanilla worst-case stall tracks the slice length.
+    assert stats[90][1] > stats[6][1] * 2.5
+    assert stats[30][1] > 28 * MS
+    # At the Xen-like 30 ms slice, IRS collapses the p99 tail...
+    assert stats[30][2] < stats[30][0] * 0.6
+    # ...and at 90 ms it caps the worst stall far below the slice.
+    assert stats[90][3] < stats[90][1] * 0.6

@@ -1,0 +1,13 @@
+"""Section 5.4: IRS does not compromise inter-VM fairness."""
+
+from repro.experiments.figures import fairness_check
+
+
+def test_fairness(run_figure, quick):
+    result = run_figure(fairness_check, quick=quick)
+    notes = result.notes
+    for app in ('streamcluster', 'UA'):
+        # IRS improves utilization over vanilla...
+        assert notes[(app, 'irs')] >= notes[(app, 'vanilla')] - 0.05
+        # ...but never exceeds the fair share.
+        assert notes[(app, 'irs')] <= 1.1

@@ -1,0 +1,20 @@
+"""Figure 1: LHP/LWP motivation — slowdown and migration latency."""
+
+from repro.experiments.figures import fig1a, fig1b
+
+
+def test_fig1a_slowdown(run_figure, quick):
+    """Figure 1(a): blocking/spinning apps slow >1.5x under one
+    interferer; the work-stealing app stays near 1x."""
+    result = run_figure(fig1a, quick=quick)
+    assert result.notes['fluidanimate'] > 1.5
+    assert result.notes['UA'] > 1.5
+    assert result.notes['raytrace'] < 1.35
+
+
+def test_fig1b_migration_latency(run_figure, quick):
+    """Figure 1(b): migration latency climbs ~one scheduling slice per
+    co-located VM (paper: 1 / 26.4 / 53.2 / 79.8 ms)."""
+    result = run_figure(fig1b, quick=quick)
+    assert result.notes['alone'] < 2
+    assert result.notes['alone'] < result.notes['1VM'] < result.notes['3VM']

@@ -1,0 +1,12 @@
+"""Figure 2: CPU utilization relative to fair share under interference."""
+
+from repro.experiments.figures import fig2
+
+
+def test_fig2_utilization(run_figure, quick):
+    """Blocking apps fall well short of their fair share; raytrace's
+    user-level work stealing keeps it near 1.0."""
+    result = run_figure(fig2, quick=quick)
+    blocking = [v for k, v in result.notes.items() if k != 'raytrace']
+    assert sum(b < 0.9 for b in blocking) >= len(blocking) // 2
+    assert result.notes['raytrace'] > 0.9

@@ -1,0 +1,29 @@
+"""Figure 5: PARSEC (blocking) improvement over vanilla for PLE,
+relaxed co-scheduling, and IRS."""
+
+from repro.experiments.figures import fig5
+
+QUICK_APPS = ['blackscholes', 'streamcluster', 'fluidanimate', 'canneal',
+              'dedup', 'raytrace', 'x264', 'bodytrack']
+
+
+def test_fig5_parsec_grid(run_figure, quick):
+    apps = QUICK_APPS if quick else None
+    interferers = ['hogs'] if quick else None
+    result = run_figure(fig5, quick=quick, apps=apps,
+                        interferers=interferers)
+    notes = result.notes
+    # IRS delivers large 1-inter gains for synchronization-heavy apps...
+    assert notes[('hogs', 'streamcluster', 1, 'irs')] > 20
+    assert notes[('hogs', 'blackscholes', 1, 'irs')] > 20
+    # ...marginal ones for pipeline / work-stealing apps...
+    assert abs(notes[('hogs', 'dedup', 1, 'irs')]) < 15
+    assert abs(notes[('hogs', 'raytrace', 1, 'irs')]) < 15
+    # ...and the gain fades at 4-inter.
+    assert (notes[('hogs', 'streamcluster', 4, 'irs')]
+            < notes[('hogs', 'streamcluster', 1, 'irs')])
+    # IRS beats the other strategies for blocking workloads.
+    for app in ('streamcluster', 'blackscholes'):
+        irs = notes[('hogs', app, 1, 'irs')]
+        assert irs >= notes[('hogs', app, 1, 'ple')]
+        assert irs >= notes[('hogs', app, 1, 'relaxed_co')]

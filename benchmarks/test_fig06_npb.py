@@ -1,0 +1,22 @@
+"""Figure 6: NPB (spinning) improvement over vanilla."""
+
+from repro.experiments.figures import fig6
+
+QUICK_APPS = ['CG', 'EP', 'MG', 'SP', 'UA']
+
+
+def test_fig6_npb_grid(run_figure, quick):
+    apps = QUICK_APPS if quick else None
+    interferers = ['hogs'] if quick else None
+    result = run_figure(fig6, quick=quick, apps=apps,
+                        interferers=interferers)
+    notes = result.notes
+    # IRS helps spinning workloads substantially at 1-inter.
+    assert notes[('hogs', 'UA', 1, 'irs')] > 20
+    assert notes[('hogs', 'MG', 1, 'irs')] > 15
+    # The gain diminishes as interference widens (Section 5.2).
+    assert (notes[('hogs', 'UA', 4, 'irs')]
+            < notes[('hogs', 'UA', 1, 'irs')])
+    # PLE / relaxed-co perform poorly for some fine-grained spinners
+    # (the paper names CG, IS, MG, SP).
+    assert notes[('hogs', 'MG', 1, 'ple')] < notes[('hogs', 'MG', 1, 'irs')]

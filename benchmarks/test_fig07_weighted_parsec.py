@@ -1,0 +1,19 @@
+"""Figure 7: weighted speedup of co-located PARSEC pairs."""
+
+from repro.experiments.figures import fig7
+
+QUICK_APPS = ['blackscholes', 'streamcluster', 'canneal', 'raytrace']
+
+
+def test_fig7_weighted_speedup(run_figure, quick):
+    apps = QUICK_APPS if quick else None
+    backgrounds = ('fluidanimate',) if quick else ('fluidanimate',
+                                                   'streamcluster')
+    result = run_figure(fig7, quick=quick, apps=apps,
+                        backgrounds=backgrounds)
+    notes = result.notes
+    # IRS lifts system efficiency for synchronization-heavy foregrounds.
+    assert notes[('fluidanimate', 'streamcluster', 1, 'irs')] > 105
+    # And never collapses it at 4-inter (within ~±15% of parity).
+    val = notes[('fluidanimate', 'streamcluster', 4, 'irs')]
+    assert val is None or val > 85

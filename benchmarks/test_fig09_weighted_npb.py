@@ -1,0 +1,16 @@
+"""Figure 9: weighted speedup of co-located NPB pairs."""
+
+from repro.experiments.figures import fig9
+
+QUICK_APPS = ['CG', 'MG', 'UA']
+
+
+def test_fig9_weighted_speedup(run_figure, quick):
+    apps = QUICK_APPS if quick else None
+    backgrounds = ('LU',) if quick else ('LU', 'UA')
+    result = run_figure(fig9, quick=quick, apps=apps,
+                        backgrounds=backgrounds)
+    notes = result.notes
+    assert notes[('LU', 'CG', 1, 'irs')] > 100
+    val = notes[('LU', 'UA', 4, 'irs')]
+    assert val is None or val > 85

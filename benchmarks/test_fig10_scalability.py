@@ -1,0 +1,20 @@
+"""Figure 10: IRS gain vs number of interfered vCPUs (8-vCPU VMs)."""
+
+from repro.experiments.figures import fig10
+
+
+def test_fig10_scalability(run_figure, quick):
+    apps = ('blackscholes', 'MG') if quick else None
+    kwargs = {'quick': quick}
+    if apps:
+        kwargs['apps'] = apps
+    result = run_figure(fig10, **kwargs)
+    notes = result.notes
+    # Gains diminish as more vCPUs are interfered (Section 5.5 obs. 1).
+    assert (notes[('blackscholes', 'hogs', 1)]
+            > notes[('blackscholes', 'hogs', 8)])
+    assert notes[('blackscholes', 'hogs', 1)] > 15
+    # Group (barrier) synchronization benefits at least as much as the
+    # spinning fine-grained app (obs. 2).
+    assert notes[('blackscholes', 'hogs', 1)] > 0
+    assert notes[('MG', 'hogs', 1)] > 0

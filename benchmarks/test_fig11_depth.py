@@ -1,0 +1,17 @@
+"""Figure 11: IRS gain vs number of stacked interfering VMs."""
+
+from repro.experiments.figures import fig11
+
+
+def test_fig11_contention_depth(run_figure, quick):
+    apps = ('blackscholes', 'x264') if quick else None
+    kwargs = {'quick': quick}
+    if apps:
+        kwargs['apps'] = apps
+    result = run_figure(fig11, **kwargs)
+    notes = result.notes
+    # IRS stays useful in highly consolidated settings: positive gain
+    # even with 3 VMs stacked per interfered pCPU.
+    assert notes[('blackscholes', 1, 3)] > 0
+    # Deeper contention tends to increase the gain (Section 5.5).
+    assert notes[('blackscholes', 1, 3)] >= notes[('blackscholes', 1, 1)] - 10

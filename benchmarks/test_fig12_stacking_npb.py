@@ -1,0 +1,37 @@
+"""Figure 12: NPB under CPU stacking (unpinned vCPUs).
+
+Known divergence (see EXPERIMENTS.md): in the paper, unpinned vanilla
+NPB collapses under vCPU stacking, so every strategy shows large
+improvements. In our substrate, pure-spin vCPUs generate almost no
+hypervisor placement events, so the unpinned vanilla baseline stays
+close to the pinned one and the improvements are compressed; IRS's
+evacuation/wake churn can even show modest losses. The assertions below
+pin the shapes that do reproduce.
+"""
+
+from repro.experiments.figures import fig12
+
+QUICK_APPS = ['CG', 'MG', 'UA']
+
+
+def test_fig12_stacking_npb(run_figure, quick):
+    apps = QUICK_APPS if quick else None
+    interferers = ('hogs',) if quick else None
+    kwargs = {'quick': quick, 'apps': apps}
+    if interferers:
+        kwargs['interferers'] = interferers
+    result = run_figure(fig12, **kwargs)
+    notes = result.notes
+
+    def values(strategy):
+        return [v for k, v in notes.items()
+                if k[2] == strategy and v is not None]
+
+    # No strategy collapses the workload (paper: all are viable here).
+    for strategy in ('ple', 'relaxed_co', 'irs'):
+        vals = values(strategy)
+        assert vals
+        assert min(vals) > -35
+    # PLE is no longer harmful once vCPUs float (contrast with the
+    # pinned Figure 6 runs, where it can hurt MG).
+    assert sum(values('ple')) / len(values('ple')) >= -5

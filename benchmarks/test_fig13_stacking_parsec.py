@@ -1,0 +1,22 @@
+"""Figure 13: PARSEC under CPU stacking (deceptive idleness)."""
+
+from repro.experiments.figures import fig13
+
+QUICK_APPS = ['streamcluster', 'blackscholes', 'canneal']
+
+
+def test_fig13_stacking_parsec(run_figure, quick):
+    apps = QUICK_APPS if quick else None
+    interferers = ('hogs',) if quick else None
+    kwargs = {'quick': quick, 'apps': apps}
+    if interferers:
+        kwargs['interferers'] = interferers
+    result = run_figure(fig13, **kwargs)
+    notes = result.notes
+    # IRS proactively pushes work off preempted vCPUs and should beat
+    # relaxed-co's average for blocking workloads under stacking.
+    irs = [v for k, v in notes.items() if k[2] == 'irs' and v is not None]
+    rco = [v for k, v in notes.items() if k[2] == 'relaxed_co'
+           and v is not None]
+    assert irs and rco
+    assert sum(irs) / len(irs) >= sum(rco) / len(rco) - 5

@@ -1,0 +1,11 @@
+"""Section 3.1: SA processing delay profile (paper: 20-26 us)."""
+
+from repro.experiments.figures import sa_overhead
+
+
+def test_sa_overhead_profile(run_figure, quick):
+    result = run_figure(sa_overhead, quick=quick)
+    assert 20 <= result.notes['mean_us'] <= 26
+    assert result.notes['min_us'] >= 20
+    assert result.notes['max_us'] <= 26
+    assert result.notes['count'] > 0

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Multi-threaded server latency under interference (paper Section 5.3).
+
+Runs the SPECjbb-like closed-loop server against a rising number of CPU
+hogs, with and without IRS, and prints throughput plus the latency
+distribution. The effect to look for: vanilla tail latency jumps by one
+hypervisor slice (~30 ms) whenever a warehouse thread's vCPU is
+preempted mid-transaction; IRS migrates the thread instead, so the tail
+collapses toward the service time.
+
+Run:  python examples/server_latency.py
+"""
+
+from repro.simkernel.units import MS, SEC
+from repro.experiments import build_scenario, InterferenceSpec, apply_strategy
+from repro.workloads import SpecJbbWorkload
+
+
+def run(strategy, n_hogs, measure_s=2):
+    scenario = build_scenario(
+        seed=0, interference=InterferenceSpec('hogs', width=n_hogs))
+    kernels = [scenario.fg_kernel] if strategy == 'irs' else ()
+    apply_strategy(scenario.machine, strategy, irs_kernels=kernels)
+    server = SpecJbbWorkload(scenario.sim, scenario.fg_kernel).install()
+
+    sim = scenario.sim
+    sim.run_until(300 * MS)                      # warm up
+    server.latency.samples.clear()
+    server.completed = 0
+    server.started_at = sim.now
+    sim.run_until(sim.now + measure_s * SEC)
+    return server
+
+
+def main():
+    print('SPECjbb-like server: 4 warehouses on a 4-vCPU VM')
+    print('%-8s %-8s %10s %10s %10s %10s'
+          % ('hogs', 'sched', 'req/s', 'p50 (ms)', 'p99 (ms)', 'max (ms)'))
+    for n_hogs in (1, 2, 4):
+        for strategy in ('vanilla', 'irs'):
+            server = run(strategy, n_hogs)
+            lat = server.latency
+            print('%-8d %-8s %10.0f %10.2f %10.2f %10.2f'
+                  % (n_hogs, strategy, server.throughput(),
+                     lat.p50() / MS, lat.p99() / MS, lat.max() / MS))
+    print()
+    print('Watch the p99 column: IRS removes the ~30 ms scheduling-slice')
+    print('stalls for light interference; with every vCPU contended the')
+    print('effect fades, matching Figure 8 of the paper.')
+
+
+if __name__ == '__main__':
+    main()

@@ -1,0 +1,35 @@
+"""repro - reproduction of "Scheduler Activations for
+Interference-Resilient SMP Virtual Machine Scheduling" (Middleware '17).
+
+The package simulates the full stack the paper modifies - a Xen-like
+hypervisor with the credit scheduler, Linux-like SMP guests with CFS
+and load balancing, and synthetic PARSEC/NPB/server workloads - and
+implements IRS plus the PLE and relaxed co-scheduling baselines on top.
+
+Quick start::
+
+    from repro import Simulator, Machine, VM, GuestKernel
+    from repro.core import install_irs
+
+See ``examples/quickstart.py`` for a complete scenario.
+"""
+
+from .simkernel import MS, SEC, US, Simulator
+from .hypervisor import Machine, VM
+from .guestos import GuestKernel, Task
+from .core import IRSConfig, install_irs
+
+__version__ = '1.0.0'
+
+__all__ = [
+    'GuestKernel',
+    'IRSConfig',
+    'install_irs',
+    'Machine',
+    'MS',
+    'SEC',
+    'Simulator',
+    'Task',
+    'US',
+    'VM',
+]

@@ -1,0 +1,47 @@
+"""IRS — interference-resilient scheduling (the paper's contribution).
+
+Wires the four components of Figure 3 into a machine and a guest:
+SA sender (hypervisor), SA receiver, context switcher, and migrator
+(guest). Use :func:`install_irs` for the usual case.
+"""
+
+from .config import IRSConfig
+from .context_switcher import ContextSwitcher
+from .migrator import Migrator
+from .pull_irs import PullMigrator, install_pull_irs
+from .receiver import SaReceiver
+from .sender import SaSender
+
+
+def install_irs(machine, kernels, config=None):
+    """Enable IRS on ``machine`` for the guests in ``kernels``.
+
+    Attaches one :class:`SaSender` to the hypervisor and, per guest, a
+    :class:`SaReceiver` (with its context switcher and migrator). The
+    guests' wake balancers gain the tagged-task preemption rule. VMs
+    whose kernels are not listed keep vanilla behaviour and simply never
+    receive activations.
+
+    Returns the sender.
+    """
+    config = config or IRSConfig()
+    sender = SaSender(machine.sim, machine, config)
+    machine.attach_sa_sender(sender)
+    for kernel in kernels:
+        receiver = SaReceiver(machine.sim, kernel, config)
+        kernel.sa_receiver = receiver
+        kernel.vm.irs_capable = True
+        kernel.balancer.irs_wake_rule = config.wakeup_preempt_tagged
+    return sender
+
+
+__all__ = [
+    'ContextSwitcher',
+    'IRSConfig',
+    'install_irs',
+    'install_pull_irs',
+    'Migrator',
+    'PullMigrator',
+    'SaReceiver',
+    'SaSender',
+]

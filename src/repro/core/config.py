@@ -1,0 +1,47 @@
+"""Configuration of the IRS prototype.
+
+Defaults follow the paper: SA processing measured at 20–26 µs (Section
+3.1), a hypervisor-side hard limit on SA completion to contain rogue
+guests (Section 4.1), and the ping-pong-avoiding wakeup rule enabled
+(Section 3.3 / Figure 4).
+"""
+
+from ..simkernel.units import US
+
+
+class IRSConfig:
+    """Tunables of the scheduler-activation machinery."""
+
+    #: Migrator target policies (Algorithm 2 and ablations thereof).
+    POLICY_IDLE_FIRST = 'idle_first'        # paper: idle, else min rt_avg
+    POLICY_LEAST_LOADED = 'least_loaded'    # min rt_avg, idle not special
+    POLICY_GUEST_LOAD_ONLY = 'guest_load'   # ignore steal time entirely
+    POLICY_RANDOM = 'random'                # any non-preempted sibling
+    MIGRATOR_POLICIES = (POLICY_IDLE_FIRST, POLICY_LEAST_LOADED,
+                         POLICY_GUEST_LOAD_ONLY, POLICY_RANDOM)
+
+    def __init__(self, sa_handler_min_ns=20 * US, sa_handler_max_ns=26 * US,
+                 sa_hard_limit_ns=200 * US, migrator_kick_ns=3 * US,
+                 wakeup_preempt_tagged=True, prefer_idle_vcpu=True,
+                 migrator_policy='idle_first'):
+        if sa_handler_min_ns > sa_handler_max_ns:
+            raise ValueError('sa handler min > max')
+        if migrator_policy not in self.MIGRATOR_POLICIES:
+            raise ValueError('unknown migrator policy %r' % migrator_policy)
+        # Guest-side SA processing time (vIRQ handling + one context
+        # switch), sampled uniformly per activation.
+        self.sa_handler_min_ns = sa_handler_min_ns
+        self.sa_handler_max_ns = sa_handler_max_ns
+        # Hypervisor bail-out: if the guest has not acknowledged within
+        # this bound, the preemption proceeds without it.
+        self.sa_hard_limit_ns = sa_hard_limit_ns
+        # Asynchronous migrator wakeup latency (it is a kernel thread
+        # that runs elsewhere, Section 4.2).
+        self.migrator_kick_ns = migrator_kick_ns
+        # The Figure 4 fix: waking tasks preempt IRS-tagged intruders in
+        # place instead of being migrated away.
+        self.wakeup_preempt_tagged = wakeup_preempt_tagged
+        # Algorithm 2: stop the search at the first idle vCPU.
+        self.prefer_idle_vcpu = prefer_idle_vcpu
+        # Target-selection policy; non-default values are ablations.
+        self.migrator_policy = migrator_policy

@@ -1,0 +1,33 @@
+"""Context switcher — bottom half of the SA upcall (Section 3.2).
+
+Implemented in the real system as the ``UPCALL_SOFTIRQ`` handler: it
+deschedules the task running on the preemptee vCPU (faithfully
+reflecting the vCPU's fate in the guest), marks it migrating, and
+decides how to answer the hypervisor:
+
+* ``SCHEDOP_block`` — the runqueue is now empty; the idle task takes
+  over, so the vCPU should be parked blocked and later wake boosted;
+* ``SCHEDOP_yield`` — other runnable tasks remain; the vCPU must stay
+  runnable so they get CPU when the contention clears.
+
+Returning the right operation is what keeps IRS from perturbing the
+hypervisor's existing scheduling policies (I/O boosting in particular).
+"""
+
+
+class ContextSwitcher:
+    """Deschedules the preemptee vCPU's current task."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.switches = 0
+
+    def switch(self, gcpu):
+        """Perform the context switch. Returns ``(op, descheduled_task)``
+        where ``op`` is the SCHEDOP string to acknowledge with and the
+        task is None if the vCPU was running nothing migratable."""
+        op, task = self.kernel.sa_context_switch(gcpu)
+        if task is not None:
+            self.switches += 1
+            self.kernel.sim.trace.count('irs.context_switches')
+        return op, task

@@ -1,0 +1,83 @@
+"""Migrator — the IRS load distributor (Algorithm 2, Section 3.3).
+
+A system-wide kernel thread, woken asynchronously by the SA receiver.
+For the task descheduled off a preemptee vCPU it searches the sibling
+vCPUs for the best destination, probing *actual* hypervisor runstates
+via ``HYPERVISOR_vcpu_op`` (preempted vCPUs still look "online" to the
+guest, so the hypercall is the only truthful signal):
+
+* an **idle** vCPU (blocked at the hypervisor with an empty runqueue)
+  wins immediately — the task can run the moment the vCPU wake-boosts;
+* otherwise the **running** vCPU with the smallest ``rt_avg`` load
+  (which folds in steal time) is chosen;
+* **runnable** (preempted) vCPUs are skipped — moving the task there
+  would recreate the very problem being solved;
+* with no target at all, the task is parked back on its original vCPU.
+
+Tasks placed by the migrator carry the ``irs_tag`` that drives the
+ping-pong-avoiding wakeup rule (Figure 4).
+"""
+
+from ..guestos.task import TASK_MIGRATING
+from .config import IRSConfig
+
+
+class Migrator:
+    """Guest-side migration thread for SA-descheduled tasks."""
+
+    def __init__(self, sim, kernel, hypercalls, config=None):
+        self.sim = sim
+        self.kernel = kernel
+        self.hypercalls = hypercalls
+        self.config = config or IRSConfig()
+        self.migrations = 0
+        self.fallbacks = 0
+
+    def migrate(self, task, source_gcpu):
+        """Move ``task`` (in migrator limbo) off ``source_gcpu``."""
+        if task.state != TASK_MIGRATING:
+            return None
+        target = self._find_target(source_gcpu)
+        if target is None:
+            # No idle or running sibling: keep the task home; it runs
+            # when the preempted vCPU is scheduled again.
+            self.fallbacks += 1
+            self.sim.trace.count('irs.migrator_fallbacks')
+            self.kernel.migrate_limbo_task(task, source_gcpu)
+            return source_gcpu
+        self.migrations += 1
+        self.kernel.migrate_limbo_task(task, target)
+        return target
+
+    def _find_target(self, source_gcpu):
+        """Algorithm 2 (policy 'idle_first'): first idle vCPU, else the
+        least-loaded running one. The other policies are ablations of
+        the design choices the paper calls out (Section 3.3)."""
+        policy = self.config.migrator_policy
+        candidates = []
+        for gcpu in self.kernel.gcpus:
+            if gcpu is source_gcpu or not gcpu.online:
+                continue
+            state = self.hypercalls.vcpu_op_get_runstate(gcpu.vcpu)
+            if state == 'blocked' and gcpu.is_guest_idle:
+                if (policy == IRSConfig.POLICY_IDLE_FIRST
+                        and self.config.prefer_idle_vcpu):
+                    return gcpu
+                candidates.append((gcpu, 0.0))
+            elif state == 'running':
+                candidates.append((gcpu, self._load_of(gcpu)))
+            # runnable (preempted) or blocked-with-work: skip.
+        if not candidates:
+            return None
+        if policy == IRSConfig.POLICY_RANDOM:
+            rng = self.sim.rng.stream('irs.migrator.random')
+            return rng.choice([gcpu for gcpu, __ in candidates])
+        return min(candidates, key=lambda pair: pair[1])[0]
+
+    def _load_of(self, gcpu):
+        """Busyness under the configured policy: the paper's rt_avg
+        (steal-aware) or the naive guest-only queue depth."""
+        if self.config.migrator_policy == IRSConfig.POLICY_GUEST_LOAD_ONLY:
+            return (gcpu.rq.nr_ready +
+                    (1 if gcpu.current is not None else 0))
+        return gcpu.load_metric()

@@ -1,0 +1,53 @@
+"""SA receiver — the guest half of IRS (Algorithm 1, bottom).
+
+The interrupt handler of ``VIRQ_SA_UPCALL``. Kept deliberately small
+(Section 4.2): it delegates the real work to the context switcher
+(softirq bottom half) and acknowledges the hypervisor as soon as the
+context switch is done, while the migrator runs asynchronously — so the
+preemptee vCPU holds its pCPU for only the 20–26 µs the handler takes.
+"""
+
+from ..hypervisor.channels import VIRQ_SA_UPCALL
+from .config import IRSConfig
+from .context_switcher import ContextSwitcher
+from .migrator import Migrator
+
+
+class SaReceiver:
+    """Guest-side scheduler-activation handler."""
+
+    def __init__(self, sim, kernel, config=None):
+        self.sim = sim
+        self.kernel = kernel
+        self.config = config or IRSConfig()
+        self.context_switcher = ContextSwitcher(kernel)
+        self.migrator = Migrator(sim, kernel, kernel.hypercalls, self.config)
+        self.handled = 0
+        self.handler_time_ns = 0     # cumulative, for the §3.1 profile
+
+    def on_virq(self, gcpu, virq):
+        """vIRQ entry point (registered via ``kernel.sa_receiver``)."""
+        if virq != VIRQ_SA_UPCALL:
+            return
+        if gcpu.in_sa_handler:
+            return
+        self.kernel.sa_begin(gcpu)
+        cost = self.sim.rng.uniform_ns(
+            'irs.sa_handler', self.config.sa_handler_min_ns,
+            self.config.sa_handler_max_ns)
+        self.handler_time_ns += cost
+        self.sim.after(cost, self._bottom_half, gcpu)
+
+    def _bottom_half(self, gcpu):
+        """UPCALL_SOFTIRQ: context switch, kick migrator, acknowledge."""
+        if not gcpu.in_sa_handler:
+            # The hard limit fired first and forced the preemption.
+            return
+        self.handled += 1
+        op, task = self.context_switcher.switch(gcpu)
+        if task is not None:
+            # Wake the migrator thread asynchronously; it runs on some
+            # other vCPU and must not extend the preemption delay.
+            self.sim.after(self.config.migrator_kick_ns,
+                           self.migrator.migrate, task, gcpu)
+        self.kernel.sa_ack(gcpu, op)

@@ -1,0 +1,84 @@
+"""SA sender — the hypervisor half of IRS (Algorithm 1, top).
+
+Sits on the credit scheduler's preemption path. When an involuntary
+preemption targets a running, still-runnable vCPU of an IRS-capable
+guest with no activation already pending, the sender:
+
+1. sets the per-vCPU ``sa_pending`` flag,
+2. delivers ``VIRQ_SA_UPCALL`` over the event channel,
+3. lets the vCPU keep the pCPU until the guest acknowledges via
+   ``HYPERVISOR_sched_op`` (the scheduler parks the context switch),
+4. arms a hard-limit timeout so a rogue or wedged guest cannot hold the
+   pCPU hostage (Section 4.1).
+"""
+
+from ..hypervisor.channels import VIRQ_SA_UPCALL
+from .config import IRSConfig
+
+
+class SaSender:
+    """Hypervisor-side scheduler-activation emitter."""
+
+    def __init__(self, sim, machine, config=None):
+        self.sim = sim
+        self.machine = machine
+        self.config = config or IRSConfig()
+        self._timeouts = {}          # vcpu -> Event
+        self._offer_times = {}       # vcpu -> offer timestamp
+        self.sent = 0
+        self.timed_out = 0
+        # Observed preemption-delay samples (offer -> acknowledgement),
+        # the Section 3.1 "20-26 us" profile.
+        self.delay_samples_ns = []
+
+    def offer_preemption(self, vcpu):
+        """Called by the credit scheduler before an involuntary
+        preemption. Returns True if the preemption is deferred pending
+        guest acknowledgement."""
+        if not vcpu.vm.irs_capable:
+            return False
+        if vcpu.sa_pending:
+            return False
+        if not vcpu.is_running:
+            return False
+        gcpu = vcpu.gcpu
+        if gcpu is None or gcpu.in_sa_handler:
+            return False
+        if gcpu.current is None:
+            # Nothing to migrate; a plain preemption costs nothing.
+            return False
+        vcpu.sa_pending = True
+        self.sent += 1
+        self._offer_times[vcpu] = self.sim.now
+        self.sim.trace.count('irs.sa_sent')
+        self._timeouts[vcpu] = self.sim.after(
+            self.config.sa_hard_limit_ns, self._hard_limit, vcpu)
+        self.machine.channels.send_virq(vcpu, VIRQ_SA_UPCALL)
+        return True
+
+    def acknowledge(self, vcpu):
+        """Guest acknowledged: clear the pending flag so the next round
+        of SA can fire (Algorithm 1 line 16)."""
+        vcpu.sa_pending = False
+        offered_at = self._offer_times.pop(vcpu, None)
+        if offered_at is not None:
+            self.delay_samples_ns.append(self.sim.now - offered_at)
+        timeout = self._timeouts.pop(vcpu, None)
+        if timeout is not None:
+            timeout.cancel()
+
+    def _hard_limit(self, vcpu):
+        """The guest never answered: force the preemption through."""
+        self._timeouts.pop(vcpu, None)
+        self._offer_times.pop(vcpu, None)
+        if not vcpu.sa_pending:
+            return
+        vcpu.sa_pending = False
+        self.timed_out += 1
+        self.sim.trace.count('irs.sa_timeouts')
+        pcpu = vcpu.pcpu
+        if pcpu.preempt_deferred and pcpu.current is vcpu:
+            if vcpu.gcpu is not None:
+                vcpu.gcpu.in_sa_handler = False
+            self.machine.scheduler.complete_deferred_preemption(
+                vcpu, block=False)

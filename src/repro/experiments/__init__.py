@@ -1,0 +1,38 @@
+"""Experiment harness: topologies, strategies, runners, figure drivers."""
+
+from .figures import ALL_FIGURES
+from .harness import (
+    ParallelRunResult,
+    run_migration_probe,
+    run_parallel,
+    run_server,
+    ServerRunResult,
+)
+from .reporting import FigureResult, format_table
+from .spec import SpecError, parse_spec, run_spec, run_spec_file
+from .sweeps import Sweep, SweepPoint
+from .strategies import (
+    ALL_STRATEGIES,
+    apply_strategy,
+    COMPARISON_STRATEGIES,
+    IRS,
+    PLE,
+    RELAXED_CO,
+    VANILLA,
+)
+from .topology import (
+    build_scenario,
+    InterferenceSpec,
+    NO_INTERFERENCE,
+    Scenario,
+)
+
+__all__ = [
+    'ALL_FIGURES',
+    'ALL_STRATEGIES', 'apply_strategy', 'build_scenario',
+    'COMPARISON_STRATEGIES', 'FigureResult', 'format_table',
+    'InterferenceSpec', 'IRS', 'NO_INTERFERENCE', 'ParallelRunResult',
+    'PLE', 'RELAXED_CO', 'run_migration_probe', 'run_parallel',
+    'run_server', 'run_spec', 'run_spec_file', 'parse_spec', 'Scenario',
+    'ServerRunResult', 'SpecError', 'Sweep', 'SweepPoint', 'VANILLA',
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` — regenerate paper figures."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,95 @@
+"""Command-line entry point for the reproduction harness.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig5
+    python -m repro.experiments fig6 --full
+    python -m repro.experiments all --out results.txt
+    python -m repro.experiments my_experiment.json     # declarative spec
+"""
+
+import argparse
+import sys
+import time
+
+from .figures import ALL_FIGURES
+from .reporting import format_table
+from .spec import run_spec_file
+
+
+def _run_one(name, quick, stream):
+    figure_fn = ALL_FIGURES[name]
+    started = time.time()
+    result = figure_fn(quick=quick)
+    elapsed = time.time() - started
+    print(result.table(), file=stream)
+    print('(%s: %d rows in %.1fs wall)' % (name, len(result.rows), elapsed),
+          file=stream)
+    print(file=stream)
+    return result
+
+
+def _run_specs(path):
+    rows = []
+    for spec, result in run_spec_file(path):
+        rows.append([
+            spec.get('name', spec['app']),
+            result.strategy,
+            ('%.1f' % (result.makespan_ns / 1e6)
+             if result.completed else 'TIMEOUT'),
+            '%.3f' % result.utilization,
+        ])
+    print(format_table(
+        ['experiment', 'strategy', 'makespan (ms)', 'util/fair-share'],
+        rows, title='Spec results: %s' % path))
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog='python -m repro.experiments',
+        description='Regenerate the evaluation figures of "Scheduler '
+                    'Activations for Interference-Resilient SMP Virtual '
+                    'Machine Scheduling" (Middleware 2017).')
+    parser.add_argument('figure',
+                        help="figure name (e.g. fig5), 'all', 'list', or "
+                             'a path to a JSON experiment spec')
+    parser.add_argument('--full', action='store_true',
+                        help='3 seeds at full workload scale (slow); '
+                             'default is 1 seed at reduced scale')
+    parser.add_argument('--out', metavar='FILE',
+                        help='append tables to FILE instead of stdout')
+    args = parser.parse_args(argv)
+
+    if args.figure == 'list':
+        for name, fn in ALL_FIGURES.items():
+            doc = (fn.__doc__ or '').strip().splitlines()[0]
+            print('%-15s %s' % (name, doc))
+        return 0
+
+    if args.figure.endswith('.json'):
+        return _run_specs(args.figure)
+
+    names = list(ALL_FIGURES) if args.figure == 'all' else [args.figure]
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        parser.error('unknown figure %s; try: %s'
+                     % (', '.join(unknown), ', '.join(ALL_FIGURES)))
+
+    stream = sys.stdout
+    handle = None
+    if args.out:
+        handle = open(args.out, 'a')
+        stream = handle
+    try:
+        for name in names:
+            _run_one(name, quick=not args.full, stream=stream)
+    finally:
+        if handle is not None:
+            handle.close()
+    return 0
+
+
+if __name__ == '__main__':
+    sys.exit(main())

@@ -1,0 +1,189 @@
+"""Experiment runners: one configuration in, measurements out.
+
+These are the building blocks the per-figure drivers compose. Each run
+builds a fresh simulator (fully deterministic in the seed), wires a
+strategy, installs workloads, and executes to completion or to a fixed
+duration.
+"""
+
+from ..metrics import RunMetrics, utilization_vs_fair_share
+from ..simkernel.units import MS, SEC
+from ..workloads import (
+    ApacheBenchWorkload,
+    ParallelWorkload,
+    SpecJbbWorkload,
+    get_profile,
+)
+from ..guestos.migration import MigrationStopper
+from ..workloads.program import cpu_hog
+from .strategies import DELAY_PREEMPT, IRS, apply_strategy
+from .topology import NO_INTERFERENCE, InterferenceSpec, build_scenario
+
+DEFAULT_TIMEOUT_NS = 240 * SEC
+_RUN_CHUNK_NS = 50 * MS
+
+
+class ParallelRunResult:
+    """Outcome of one parallel-workload run."""
+
+    def __init__(self, app, strategy, makespan_ns, utilization, bg_rates,
+                 metrics, workload, scenario):
+        self.app = app
+        self.strategy = strategy
+        self.makespan_ns = makespan_ns
+        self.utilization = utilization
+        self.bg_rates = bg_rates
+        self.metrics = metrics
+        self.workload = workload
+        self.scenario = scenario
+
+    @property
+    def completed(self):
+        return self.makespan_ns is not None
+
+    def __repr__(self):
+        span = ('%.1fms' % (self.makespan_ns / MS)
+                if self.completed else 'TIMEOUT')
+        return '<Run %s/%s %s>' % (self.app, self.strategy, span)
+
+
+def run_parallel(app, strategy='vanilla', interference=NO_INTERFERENCE,
+                 seed=0, n_pcpus=4, fg_vcpus=4, n_threads=None, pinned=True,
+                 scale=1.0, timeout_ns=DEFAULT_TIMEOUT_NS, irs_config=None,
+                 profile=None):
+    """Run one parallel benchmark under one strategy and interference
+    level; measure makespan, utilization, and background progress."""
+    scenario = build_scenario(seed=seed, n_pcpus=n_pcpus, fg_vcpus=fg_vcpus,
+                              interference=interference, pinned=pinned,
+                              scale=scale)
+    irs_kernels = ([scenario.fg_kernel]
+                   if strategy in (IRS, DELAY_PREEMPT) else ())
+    apply_strategy(scenario.machine, strategy, irs_kernels=irs_kernels,
+                   irs_config=irs_config)
+    if profile is None:
+        profile = get_profile(app)
+    workload = ParallelWorkload(scenario.sim, scenario.fg_kernel, profile,
+                                n_threads=n_threads, scale=scale,
+                                prefix='fg.%s' % app)
+    workload.install()
+
+    sim = scenario.sim
+    deadline = sim.now + timeout_ns
+    while not workload.is_done and sim.now < deadline:
+        sim.run_until(min(sim.now + _RUN_CHUNK_NS, deadline))
+
+    makespan = workload.makespan_ns()
+    elapsed = (makespan if makespan is not None
+               else sim.now - workload.started_at)
+    utilization = (utilization_vs_fair_share(scenario.fg_vm,
+                                             scenario.machine, elapsed)
+                   if elapsed > 0 else 0.0)
+    bg_rates = [bg.progress_rate() for bg in scenario.bg_workloads
+                if isinstance(bg, ParallelWorkload)]
+    metrics = RunMetrics(scenario.machine, scenario.all_kernels, elapsed)
+    return ParallelRunResult(app, strategy, makespan, utilization, bg_rates,
+                             metrics, workload, scenario)
+
+
+class ServerRunResult:
+    """Outcome of one server-benchmark run."""
+
+    def __init__(self, kind, strategy, throughput, latency_summary,
+                 metrics):
+        self.kind = kind
+        self.strategy = strategy
+        self.throughput = throughput
+        self.latency_summary = latency_summary
+        self.metrics = metrics
+
+    def __repr__(self):
+        return '<ServerRun %s/%s %.0f req/s p99=%.2fms>' % (
+            self.kind, self.strategy, self.throughput,
+            self.latency_summary['p99'] / MS)
+
+
+def run_server(kind, strategy='vanilla', n_hogs=1, seed=0, n_pcpus=4,
+               fg_vcpus=4, warmup_ns=300 * MS, measure_ns=2 * SEC,
+               irs_config=None, **server_kwargs):
+    """Run a server workload (``'specjbb'`` or ``'ab'``) against N CPU
+    hogs; measure steady-state throughput and latency."""
+    interference = (InterferenceSpec('hogs', width=n_hogs) if n_hogs > 0
+                    else NO_INTERFERENCE)
+    scenario = build_scenario(seed=seed, n_pcpus=n_pcpus,
+                              fg_vcpus=fg_vcpus, interference=interference)
+    irs_kernels = ([scenario.fg_kernel]
+                   if strategy in (IRS, DELAY_PREEMPT) else ())
+    apply_strategy(scenario.machine, strategy, irs_kernels=irs_kernels,
+                   irs_config=irs_config)
+    if kind == 'specjbb':
+        server = SpecJbbWorkload(scenario.sim, scenario.fg_kernel,
+                                 **server_kwargs)
+    elif kind == 'ab':
+        server = ApacheBenchWorkload(scenario.sim, scenario.fg_kernel,
+                                     **server_kwargs)
+    else:
+        raise ValueError("server kind must be 'specjbb' or 'ab'")
+    server.install()
+
+    sim = scenario.sim
+    sim.run_until(sim.now + warmup_ns)
+    # Reset for steady-state measurement.
+    server.latency.samples.clear()
+    server.completed = 0
+    server.started_at = sim.now
+    sim.run_until(sim.now + measure_ns)
+
+    metrics = RunMetrics(scenario.machine, scenario.all_kernels, measure_ns)
+    return ServerRunResult(kind, strategy, server.throughput(),
+                           server.latency.summary(), metrics)
+
+
+def run_migration_probe(n_inter_vms, seed=0, warmup_ns=None,
+                        trigger='preemption', stopper_kwargs=None):
+    """One Figure 1(b) trial: measure the latency of migrating a
+    running process off a vCPU contended by ``n_inter_vms`` CPU-hog VMs.
+
+    ``trigger='preemption'`` issues the migration right after the source
+    vCPU is involuntarily preempted — the instant guest load balancing
+    *would* want to react, and the scenario the paper measures.
+    ``trigger='random'`` issues it at a random phase instead. Returns
+    the observed latency in ns (None if the probe never fired).
+    """
+    interference = (InterferenceSpec('hogs', width=1, n_vms=n_inter_vms)
+                    if n_inter_vms > 0 else NO_INTERFERENCE)
+    scenario = build_scenario(seed=seed, n_pcpus=2, fg_vcpus=2,
+                              interference=interference)
+    sim = scenario.sim
+    kernel = scenario.fg_kernel
+    task = kernel.spawn('probe.target', cpu_hog(10 * MS), gcpu_index=0)
+    stopper = MigrationStopper(sim, kernel, **(stopper_kwargs or {}))
+
+    if warmup_ns is None:
+        warmup_ns = sim.rng.uniform_ns('probe.offset', 150 * MS, 450 * MS)
+    sim.run_until(sim.now + warmup_ns)
+
+    result = {}
+
+    def on_complete(request):
+        result['latency'] = request.latency_ns
+        sim.stop()
+
+    source_vcpu = kernel.gcpus[0].vcpu
+
+    def issue():
+        stopper.request(task, kernel.gcpus[1], on_complete=on_complete)
+
+    if trigger == 'preemption' and n_inter_vms > 0:
+        poll_ns = 200_000  # 0.2 ms
+
+        def wait_for_preemption():
+            if source_vcpu.is_runnable:
+                issue()
+            else:
+                sim.after(poll_ns, wait_for_preemption)
+
+        wait_for_preemption()
+    else:
+        issue()
+    sim.run_until(sim.now + 20 * SEC)
+    return result.get('latency')

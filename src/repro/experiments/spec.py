@@ -1,0 +1,105 @@
+"""Declarative experiment specs.
+
+A spec is a plain dict (JSON-friendly) describing one run — machine
+shape, strategy, interference, workload — so experiments can live in
+config files and be replayed exactly:
+
+    {
+      "app": "streamcluster",
+      "strategy": "irs",
+      "seed": 3,
+      "machine": {"n_pcpus": 4, "fg_vcpus": 4, "pinned": true},
+      "interference": {"kind": "hogs", "width": 2, "n_vms": 1},
+      "workload": {"scale": 0.5, "n_threads": 4}
+    }
+
+:func:`run_spec` validates and executes one spec; :func:`run_spec_file`
+reads a JSON file holding a spec or a list of specs.
+"""
+
+import json
+
+from .harness import run_parallel
+from .strategies import ALL_STRATEGIES, EXTENSION_STRATEGIES
+from .topology import NO_INTERFERENCE, InterferenceSpec
+
+_KNOWN_STRATEGIES = tuple(ALL_STRATEGIES) + tuple(EXTENSION_STRATEGIES)
+_TOP_LEVEL_KEYS = {'app', 'strategy', 'seed', 'machine', 'interference',
+                   'workload', 'name'}
+_MACHINE_KEYS = {'n_pcpus', 'fg_vcpus', 'pinned'}
+_INTERFERENCE_KEYS = {'kind', 'width', 'n_vms'}
+_WORKLOAD_KEYS = {'scale', 'n_threads', 'timeout_s'}
+
+
+class SpecError(ValueError):
+    """A malformed experiment spec."""
+
+
+def _check_keys(section, mapping, allowed):
+    unknown = set(mapping) - allowed
+    if unknown:
+        raise SpecError('unknown %s keys: %s (allowed: %s)'
+                        % (section, ', '.join(sorted(unknown)),
+                           ', '.join(sorted(allowed))))
+
+
+def parse_spec(spec):
+    """Validate a spec dict and normalize it to run_parallel kwargs.
+    Returns ``(app, kwargs)``."""
+    if not isinstance(spec, dict):
+        raise SpecError('spec must be a dict, got %r' % type(spec).__name__)
+    _check_keys('top-level', spec, _TOP_LEVEL_KEYS)
+    try:
+        app = spec['app']
+    except KeyError:
+        raise SpecError("spec needs an 'app'")
+    strategy = spec.get('strategy', 'vanilla')
+    if strategy not in _KNOWN_STRATEGIES:
+        raise SpecError('unknown strategy %r (known: %s)'
+                        % (strategy, ', '.join(_KNOWN_STRATEGIES)))
+
+    kwargs = {'strategy': strategy, 'seed': int(spec.get('seed', 0))}
+
+    machine = spec.get('machine', {})
+    _check_keys('machine', machine, _MACHINE_KEYS)
+    kwargs['n_pcpus'] = int(machine.get('n_pcpus', 4))
+    kwargs['fg_vcpus'] = int(machine.get('fg_vcpus', 4))
+    kwargs['pinned'] = bool(machine.get('pinned', True))
+
+    interference = spec.get('interference')
+    if interference:
+        _check_keys('interference', interference, _INTERFERENCE_KEYS)
+        kwargs['interference'] = InterferenceSpec(
+            interference.get('kind', 'hogs'),
+            int(interference.get('width', 1)),
+            n_vms=int(interference.get('n_vms', 1)))
+    else:
+        kwargs['interference'] = NO_INTERFERENCE
+
+    workload = spec.get('workload', {})
+    _check_keys('workload', workload, _WORKLOAD_KEYS)
+    kwargs['scale'] = float(workload.get('scale', 1.0))
+    if 'n_threads' in workload:
+        kwargs['n_threads'] = int(workload['n_threads'])
+    if 'timeout_s' in workload:
+        kwargs['timeout_ns'] = int(float(workload['timeout_s']) * 10**9)
+    return app, kwargs
+
+
+def run_spec(spec):
+    """Execute one spec; returns the
+    :class:`~repro.experiments.harness.ParallelRunResult`."""
+    app, kwargs = parse_spec(spec)
+    return run_parallel(app, **kwargs)
+
+
+def run_spec_file(path):
+    """Run the spec (or list of specs) in a JSON file. Returns a list
+    of ``(spec, result)`` pairs."""
+    with open(path) as handle:
+        loaded = json.load(handle)
+    specs = loaded if isinstance(loaded, list) else [loaded]
+    results = []
+    for spec in specs:
+        results.append((spec, run_spec(spec)))
+    return results

@@ -1,0 +1,55 @@
+"""The four scheduling strategies compared in the evaluation.
+
+* ``vanilla`` — stock Xen credit scheduler + stock Linux guest;
+* ``ple`` — pause-loop exiting enabled (HVM-style spin detection);
+* ``relaxed_co`` — VMware-style relaxed co-scheduling re-implemented in
+  the credit scheduler, as the authors did;
+* ``irs`` — the paper's scheduler-activation approach. Only the
+  *foreground* kernels get the guest-side components; background VMs run
+  vanilla kernels and ignore activations (Section 5.4, footnote 1).
+"""
+
+from ..core import IRSConfig, install_irs
+from ..hypervisor.balance_sched import enable_balance_scheduling
+from ..hypervisor.delayed_preempt import install_delayed_preemption
+
+VANILLA = 'vanilla'
+PLE = 'ple'
+RELAXED_CO = 'relaxed_co'
+IRS = 'irs'
+# Extension baselines beyond the paper's evaluated set.
+DELAY_PREEMPT = 'delay_preempt'
+BALANCE_SCHED = 'balance_sched'
+
+ALL_STRATEGIES = (VANILLA, PLE, RELAXED_CO, IRS)
+COMPARISON_STRATEGIES = (PLE, RELAXED_CO, IRS)
+EXTENSION_STRATEGIES = (DELAY_PREEMPT, BALANCE_SCHED)
+
+
+def apply_strategy(machine, strategy, irs_kernels=(), irs_config=None):
+    """Wire ``strategy`` into a freshly built machine.
+
+    ``irs_kernels`` are the guest kernels that implement the SA handler
+    when the strategy is IRS (usually just the foreground VM's kernel).
+    """
+    if strategy == VANILLA:
+        return None
+    if strategy == PLE:
+        return machine.enable_ple()
+    if strategy == RELAXED_CO:
+        return machine.enable_relaxed_co()
+    if strategy == IRS:
+        if not irs_kernels:
+            raise ValueError('IRS requires at least one capable guest')
+        return install_irs(machine, irs_kernels,
+                           irs_config or IRSConfig())
+    if strategy == DELAY_PREEMPT:
+        if not irs_kernels:
+            raise ValueError('delay-preemption requires at least one '
+                             'cooperating guest')
+        return install_delayed_preemption(machine, irs_kernels)
+    if strategy == BALANCE_SCHED:
+        # Only meaningful for unpinned vCPUs (placement-based scheme).
+        return enable_balance_scheduling(machine)
+    raise ValueError('unknown strategy %r (want one of %s)'
+                     % (strategy, ', '.join(ALL_STRATEGIES)))

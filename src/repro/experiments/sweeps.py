@@ -1,0 +1,113 @@
+"""Generic parameter sweeps over the experiment harness.
+
+A :class:`Sweep` varies one dimension of a :func:`run_parallel`
+configuration — strategy, interference kind/width/depth, seed, scale,
+vCPU count, IRS config — and collects makespan/utilization series with
+optional vanilla-relative improvements. The per-figure drivers cover
+the paper's grids; sweeps are for exploring beyond them.
+
+Example::
+
+    sweep = Sweep('streamcluster', base=dict(scale=0.5))
+    result = sweep.over('width', [1, 2, 3, 4],
+                        apply=lambda kw, w: kw.update(
+                            interference=InterferenceSpec('hogs', w)))
+    print(result.table())
+"""
+
+import statistics
+
+from ..simkernel.units import MS
+from .harness import run_parallel
+from .reporting import FigureResult
+from .strategies import VANILLA
+from .topology import NO_INTERFERENCE
+
+
+class SweepPoint:
+    """One configuration's aggregated measurements."""
+
+    def __init__(self, label, makespans_ns, utilizations):
+        self.label = label
+        self.makespans_ns = makespans_ns
+        self.utilizations = utilizations
+
+    @property
+    def makespan_ns(self):
+        done = [m for m in self.makespans_ns if m is not None]
+        return statistics.fmean(done) if done else None
+
+    @property
+    def utilization(self):
+        return statistics.fmean(self.utilizations)
+
+    def improvement_over(self, other):
+        if self.makespan_ns is None or other.makespan_ns is None:
+            return None
+        return (other.makespan_ns / self.makespan_ns - 1.0) * 100.0
+
+
+class Sweep:
+    """Sweeps one dimension of a parallel-workload run."""
+
+    def __init__(self, app, base=None, seeds=(0,)):
+        self.app = app
+        self.base = dict(base or {})
+        self.base.setdefault('interference', NO_INTERFERENCE)
+        self.seeds = tuple(seeds)
+
+    def _run_point(self, kwargs):
+        spans, utils = [], []
+        for seed in self.seeds:
+            result = run_parallel(self.app, seed=seed, **kwargs)
+            spans.append(result.makespan_ns)
+            utils.append(result.utilization)
+        return spans, utils
+
+    def over(self, dimension, values, apply=None, baseline=None,
+             title=None):
+        """Run one configuration per value.
+
+        ``apply(kwargs, value)`` mutates the run kwargs for each value;
+        by default the value is assigned to ``kwargs[dimension]``.
+        ``baseline`` names a value whose point the others are compared
+        against (improvement column); defaults to the first value.
+        Returns a :class:`FigureResult`.
+        """
+        points = {}
+        for value in values:
+            kwargs = dict(self.base)
+            if apply is not None:
+                apply(kwargs, value)
+            else:
+                kwargs[dimension] = value
+            spans, utils = self._run_point(kwargs)
+            points[value] = SweepPoint(str(value), spans, utils)
+
+        baseline_value = values[0] if baseline is None else baseline
+        base_point = points[baseline_value]
+        rows = []
+        notes = {}
+        for value in values:
+            point = points[value]
+            improvement = point.improvement_over(base_point)
+            rows.append([
+                str(value),
+                ('%.1f' % (point.makespan_ns / MS)
+                 if point.makespan_ns is not None else 'TIMEOUT'),
+                '%.3f' % point.utilization,
+                ('%+.1f%%' % improvement
+                 if improvement is not None and value != baseline_value
+                 else '--'),
+            ])
+            notes[value] = point
+        headers = [dimension, 'makespan (ms)', 'util/fair-share',
+                   'vs %s' % baseline_value]
+        title = title or 'Sweep: %s over %s' % (self.app, dimension)
+        return FigureResult(title, headers, rows, notes)
+
+    def strategies(self, strategies=('vanilla', 'ple', 'relaxed_co',
+                                     'irs'), title=None):
+        """Convenience: sweep the scheduling strategy, vanilla-based."""
+        return self.over('strategy', list(strategies), baseline=VANILLA,
+                         title=title)

@@ -1,0 +1,72 @@
+"""CFS scheduling policy: slices, wakeup placement, preemption checks.
+
+Parameter defaults follow Linux 3.18: 6 ms target latency (the "finer
+grained time slices" the paper credits for IRS's win on spinning
+workloads, Section 5.2), 0.75 ms minimum granularity, 1 ms wakeup
+granularity.
+"""
+
+from ..simkernel.units import MS, US
+
+
+class CfsConfig:
+    """Tunables of the guest scheduler."""
+
+    def __init__(self, tick_ns=1 * MS, sched_latency_ns=6 * MS,
+                 min_granularity_ns=750 * US, wakeup_granularity_ns=1 * MS,
+                 cache_hot_ns=500 * US, migration_penalty_ns=50 * US,
+                 balance_interval_ticks=4):
+        self.tick_ns = tick_ns
+        self.sched_latency_ns = sched_latency_ns
+        self.min_granularity_ns = min_granularity_ns
+        self.wakeup_granularity_ns = wakeup_granularity_ns
+        # Tasks descheduled more recently than this are "cache hot" and
+        # skipped by periodic/idle balancing.
+        self.cache_hot_ns = cache_hot_ns
+        # Base compute-time penalty a migrated task pays re-warming
+        # caches (scaled by the task's cache_footprint).
+        self.migration_penalty_ns = migration_penalty_ns
+        # Periodic (push-style) balancing runs every N guest ticks.
+        self.balance_interval_ticks = balance_interval_ticks
+
+
+class CfsPolicy:
+    """Pure policy decisions, shared by every guest CPU."""
+
+    def __init__(self, config=None):
+        self.config = config or CfsConfig()
+
+    def slice_ns(self, nr_running):
+        """Ideal slice for one of ``nr_running`` tasks on a runqueue."""
+        if nr_running <= 0:
+            nr_running = 1
+        return max(self.config.sched_latency_ns // nr_running,
+                   self.config.min_granularity_ns)
+
+    def place_waking_vruntime(self, task, rq):
+        """vruntime a waking task should be (re)charged with: its own,
+        floored near the runqueue's min so sleepers neither hoard nor
+        forfeit fairness."""
+        floor = rq.min_vruntime - self.config.sched_latency_ns
+        return max(task.vruntime, floor)
+
+    def should_preempt_on_wake(self, current, woken):
+        """Wakeup preemption: the woken task preempts when sufficiently
+        behind the current task in virtual time."""
+        if current is None:
+            return True
+        gap = current.vruntime - woken.vruntime
+        return gap > self.config.wakeup_granularity_ns
+
+    def should_resched_at_tick(self, current, rq):
+        """Tick preemption: slice exhausted, or the leftmost ready task
+        is owed the CPU."""
+        leftmost = rq.min_ready_vruntime()
+        if leftmost is None:
+            return False
+        nr_running = rq.nr_ready + 1
+        if current.stint_ns >= self.slice_ns(nr_running):
+            return True
+        return (current.vruntime - leftmost >
+                self.config.wakeup_granularity_ns +
+                self.slice_ns(nr_running))

@@ -1,0 +1,693 @@
+"""The guest kernel: task execution, CFS scheduling, and the
+paravirtual interface to the hypervisor.
+
+One :class:`GuestKernel` per VM. Each vCPU gets a :class:`GuestCpu`
+(runqueue + current task + timers). Execution is charged between events
+in integer nanoseconds; when the hypervisor deschedules a vCPU the
+guest's view simply freezes — its current task stays "running" and its
+timer ticks stop — which is precisely the semantic gap IRS bridges.
+
+The IRS guest components (``repro.core``) plug in through three hooks:
+``sa_begin`` / ``sa_context_switch`` / ``sa_ack`` plus
+``migrate_limbo_task`` for the migrator.
+"""
+
+from ..hypervisor.hypercalls import SCHEDOP_BLOCK, SCHEDOP_YIELD
+from ..workloads import actions as act
+from ..workloads import sync
+from .balancer import GuestBalancer
+from .cfs import CfsConfig, CfsPolicy
+from .loadavg import RtAvgTracker
+from .runqueue import RunQueue
+from .task import (
+    TASK_EXITED,
+    TASK_MIGRATING,
+    TASK_READY,
+    TASK_RUNNING,
+    TASK_SLEEPING,
+    Task,
+)
+from .timers import TimerService
+
+# Safety valve: a program may chain zero-cost actions (marks, lock ops),
+# but an unbounded chain means a broken workload definition.
+_MAX_ZERO_TIME_ACTIONS = 100_000
+
+
+class GuestCpu:
+    """Per-vCPU guest state: runqueue, current task, timers, load."""
+
+    def __init__(self, kernel, vcpu, index):
+        self.kernel = kernel
+        self.vcpu = vcpu
+        self.index = index
+        self.name = '%s.cpu%d' % (kernel.vm.name, index)
+        self.rq = RunQueue(self)
+        self.current = None
+        # Simulation time when the current task's live stint began;
+        # None whenever the task is not actually consuming cycles.
+        self.run_started_at = None
+        self.quantum_event = None
+        self.tick_event = None
+        self.tick_count = 0
+        self.rt = RtAvgTracker(vcpu, kernel.sim)
+        # Stopper work (e.g. migration requests) run at next dispatch.
+        self.pending_work = []
+        self.in_sa_handler = False
+        self.busy_ns = 0
+        # Guest CPU hotplug state: offline CPUs take no tasks and are
+        # skipped by balancing and by the IRS migrator (Algorithm 2
+        # iterates *online* vCPUs).
+        self.online = True
+
+    @property
+    def is_guest_idle(self):
+        """Idle from the *guest's* point of view: nothing current and
+        nothing queued. Says nothing about the hypervisor runstate."""
+        return self.current is None and self.rq.nr_ready == 0
+
+    def load_metric(self):
+        """Busyness for placement decisions: decayed busy+steal fraction
+        plus live task count."""
+        return (self.rt.update() + self.rq.nr_ready +
+                (1 if self.current is not None else 0))
+
+    def __repr__(self):
+        cur = self.current.name if self.current else 'idle'
+        return '<GuestCpu %s cur=%s ready=%d>' % (
+            self.name, cur, self.rq.nr_ready)
+
+
+class GuestKernel:
+    """A Linux-like kernel driving the tasks of one VM."""
+
+    def __init__(self, sim, vm, machine, cfs_config=None):
+        self.sim = sim
+        self.vm = vm
+        self.machine = machine
+        self.hypercalls = machine.hypercalls
+        self.policy = CfsPolicy(cfs_config or CfsConfig())
+        self.gcpus = []
+        for i, vcpu in enumerate(vm.vcpus):
+            gcpu = GuestCpu(self, vcpu, i)
+            vcpu.gcpu = gcpu
+            self.gcpus.append(gcpu)
+        self.balancer = GuestBalancer(self, self.policy)
+        self.timers = TimerService(sim, self)
+        self.tasks = []
+        # IRS receiver, installed by repro.core.install_irs.
+        self.sa_receiver = None
+        # Pull-based IRS (Section 6 future work), installed by
+        # repro.core.pull_irs.install_pull_irs.
+        self.pull_migrator = None
+        # Delay-preemption manager (Uhlig et al. baseline), installed
+        # by repro.hypervisor.delayed_preempt.install_delayed_preemption.
+        self.delay_preempt = None
+        vm.attach_guest(self)
+
+    # ==================================================================
+    # Task lifecycle
+    # ==================================================================
+
+    def spawn(self, name, program, gcpu_index=None, weight=None,
+              cache_footprint=1.0, on_exit=None):
+        """Create a task and make it runnable on ``gcpu_index`` (or
+        round-robin). Returns the :class:`Task`."""
+        kwargs = {'cache_footprint': cache_footprint, 'on_exit': on_exit}
+        if weight is not None:
+            kwargs['weight'] = weight
+        task = Task(name, program, **kwargs)
+        self.tasks.append(task)
+        if gcpu_index is None:
+            gcpu_index = (len(self.tasks) - 1) % len(self.gcpus)
+        target = self.gcpus[gcpu_index]
+        task.gcpu = target
+        self.wake_task(task, target=target)
+        return task
+
+    def wake_task(self, task, target=None, preempt_in_place=None):
+        """Make a sleeping (or migrator-limbo) task runnable.
+
+        Without an explicit ``target`` the wake balancer picks one.
+        Returns True if the task was woken."""
+        if task.state not in (TASK_SLEEPING, TASK_MIGRATING):
+            return False
+        if target is None:
+            target, preempt = self.balancer.select_gcpu_for_wake(task)
+        else:
+            preempt = bool(preempt_in_place)
+        task.wakeups += 1
+        task.vruntime = self.policy.place_waking_vruntime(task, target.rq)
+        task.state = TASK_READY
+        task.gcpu = target
+        target.rq.enqueue(task)
+        self.sim.trace.count('guest.wakeups')
+
+        vcpu = target.vcpu
+        if vcpu.is_blocked:
+            # Idle vCPU: kick it through the hypervisor (wake boosting
+            # applies, so it typically preempts a CPU hog promptly).
+            self.machine.wake_vcpu(vcpu)
+        elif vcpu.is_running and not target.in_sa_handler:
+            if target.current is None:
+                self._schedule(target)
+            elif preempt or self.policy.should_preempt_on_wake(
+                    target.current, task):
+                self._preempt_current(target)
+        # else: the vCPU is runnable (preempted at the hypervisor). The
+        # enqueue stands but the resched interrupt pends — the task
+        # waits for the vCPU, a lock-waiter preemption in the making.
+        return True
+
+    def pull_task(self, task, dest):
+        """Balancer pull of a READY task onto ``dest``."""
+        src = task.gcpu
+        src.rq.dequeue(task)
+        self._apply_migration_penalty(task)
+        task.migrations += 1
+        task.gcpu = dest
+        task.vruntime = self.policy.place_waking_vruntime(task, dest.rq)
+        dest.rq.enqueue(task)
+        self.sim.trace.count('guest.pulls')
+
+    def _apply_migration_penalty(self, task):
+        """Cold caches: extend the in-flight compute segment."""
+        if isinstance(task.action, act.Compute) and task.remaining_ns > 0:
+            penalty = int(self.policy.config.migration_penalty_ns *
+                          task.cache_footprint)
+            task.remaining_ns += penalty
+
+    # ==================================================================
+    # Hypervisor interface (called by the credit scheduler)
+    # ==================================================================
+
+    def vcpu_started_running(self, vcpu):
+        """Our vCPU got a pCPU: run stopper work, then resume."""
+        gcpu = vcpu.gcpu
+        while gcpu.pending_work:
+            work = gcpu.pending_work.pop(0)
+            work()
+        if gcpu.current is not None:
+            gcpu.run_started_at = self.sim.now
+            self._arm_tick(gcpu)
+            self._run_current(gcpu)
+        else:
+            self._schedule(gcpu)
+
+    def vcpu_stopped_running(self, vcpu):
+        """Our vCPU lost its pCPU: checkpoint and freeze."""
+        gcpu = vcpu.gcpu
+        self._checkpoint(gcpu)
+        self._cancel_quantum(gcpu)
+        self._cancel_tick(gcpu)
+        gcpu.run_started_at = None
+
+    def deliver_virq(self, vcpu, virq):
+        """A virtual interrupt arrived for ``vcpu``."""
+        if self.sa_receiver is not None:
+            self.sa_receiver.on_virq(vcpu.gcpu, virq)
+
+    # ==================================================================
+    # Core scheduling
+    # ==================================================================
+
+    def _schedule(self, gcpu):
+        """Pick the next task on ``gcpu`` (vCPU must be running)."""
+        next_task = gcpu.rq.pop_min()
+        if next_task is None:
+            pulled = self.balancer.idle_balance(gcpu, self.sim.now)
+            if pulled is not None:
+                next_task = gcpu.rq.pop_min()
+        if next_task is None and self.pull_migrator is not None:
+            # Pull-based IRS: steal the frozen current task of a
+            # preempted sibling vCPU rather than going idle.
+            pulled = self.pull_migrator.try_pull(gcpu)
+            if pulled is not None:
+                next_task = gcpu.rq.pop_min()
+        if next_task is None:
+            self._go_idle(gcpu)
+            return
+        next_task.state = TASK_RUNNING
+        next_task.stint_ns = 0
+        next_task.gcpu = gcpu
+        if next_task.started_at is None:
+            next_task.started_at = self.sim.now
+        gcpu.current = next_task
+        gcpu.run_started_at = self.sim.now
+        self._arm_tick(gcpu)
+        self._run_current(gcpu)
+
+    def _go_idle(self, gcpu):
+        """Nothing to run: block the vCPU at the hypervisor."""
+        self._cancel_tick(gcpu)
+        gcpu.run_started_at = None
+        if self.pull_migrator is not None:
+            self.pull_migrator.on_idle(gcpu)
+        self.hypercalls.sched_op(gcpu.vcpu, SCHEDOP_BLOCK)
+
+    def _run_current(self, gcpu):
+        """Drive the current task until it computes, spins, blocks,
+        exits, or loses the CPU."""
+        guard = 0
+        while True:
+            task = gcpu.current
+            if task is None or gcpu.run_started_at is None:
+                return
+            if task.spinning:
+                self.machine.notify_spin_start(gcpu.vcpu)
+                return
+            action = task.action
+            if action is None:
+                action = task.next_action(task.mailbox)
+                task.mailbox = None
+                if action is None:
+                    self._exit_current(gcpu)
+                    return
+                task.action = action
+                if isinstance(action, act.Compute):
+                    task.remaining_ns = action.duration_ns
+            if isinstance(action, act.Compute):
+                if task.remaining_ns <= 0:
+                    task.action = None
+                    continue
+                self._arm_quantum(gcpu)
+                return
+            guard += 1
+            if guard > _MAX_ZERO_TIME_ACTIONS:
+                raise RuntimeError(
+                    '%s chained %d zero-time actions; add Compute steps'
+                    % (task.name, guard))
+            if not self._do_oneshot(gcpu, task, action):
+                return
+            if gcpu.current is not task:
+                # A wakeup we triggered preempted us.
+                return
+
+    def _exit_current(self, gcpu):
+        task = gcpu.current
+        self._checkpoint(gcpu)
+        self._cancel_quantum(gcpu)
+        task.state = TASK_EXITED
+        task.finished_at = self.sim.now
+        gcpu.current = None
+        self.sim.trace.count('guest.task_exits')
+        if task.on_exit is not None:
+            task.on_exit(task, self.sim.now)
+        self._schedule(gcpu)
+
+    def _preempt_current(self, gcpu):
+        """CFS-level preemption: current goes back to the runqueue."""
+        task = gcpu.current
+        if task is None:
+            return
+        self._checkpoint(gcpu)
+        self._cancel_quantum(gcpu)
+        if task.spinning:
+            self.machine.notify_spin_stop(gcpu.vcpu)
+        task.state = TASK_READY
+        task.last_descheduled = self.sim.now
+        gcpu.current = None
+        gcpu.rq.enqueue(task)
+        self._schedule(gcpu)
+
+    def _block_current(self, gcpu):
+        """Current task sleeps (lock/barrier/queue/timer wait)."""
+        task = gcpu.current
+        self._checkpoint(gcpu)
+        self._cancel_quantum(gcpu)
+        task.state = TASK_SLEEPING
+        task.last_descheduled = self.sim.now
+        gcpu.current = None
+        self._schedule(gcpu)
+
+    # ==================================================================
+    # One-shot action interpretation
+    # ==================================================================
+
+    def _do_oneshot(self, gcpu, task, action):
+        """Execute a zero-time action. Returns True when the task can
+        continue executing (action consumed)."""
+        if isinstance(action, act.Acquire):
+            return self._do_acquire(gcpu, task, action.lock)
+        if isinstance(action, act.Release):
+            task.action = None
+            self._do_release(gcpu, task, action.lock)
+            return True
+        if isinstance(action, (act.AcquireRead, act.AcquireWrite)):
+            return self._do_rw_acquire(gcpu, task, action)
+        if isinstance(action, (act.ReleaseRead, act.ReleaseWrite)):
+            task.action = None
+            self._do_rw_release(gcpu, task, action)
+            return True
+        if isinstance(action, act.BarrierWait):
+            return self._do_barrier(gcpu, task, action.barrier)
+        if isinstance(action, act.QueuePut):
+            return self._do_queue_put(gcpu, task, action)
+        if isinstance(action, act.QueueGet):
+            return self._do_queue_get(gcpu, task, action.queue)
+        if isinstance(action, act.Sleep):
+            # The sleep is complete once the timer fires; clear the
+            # action now so the wakeup resumes at the next one.
+            task.action = None
+            self.timers.arm_sleep(task, action.duration_ns)
+            self._block_current(gcpu)
+            return False
+        if isinstance(action, act.Mark):
+            task.action = None
+            action.callback(task, self.sim.now)
+            return True
+        if isinstance(action, act.YieldCpu):
+            task.action = None
+            if gcpu.rq.nr_ready == 0:
+                return True
+            self._preempt_current(gcpu)
+            return False
+        raise TypeError('unknown action %r' % (action,))
+
+    def _do_acquire(self, gcpu, task, lock):
+        if isinstance(lock, sync.SpinLock):
+            status = lock.acquire(task)
+            if status == sync.ACQUIRED:
+                task.action = None
+                self._notify_lock_acquired(gcpu)
+                return True
+            task.spinning = True
+            self.machine.notify_spin_start(gcpu.vcpu)
+            self.sim.trace.count('guest.spin_waits')
+            return False
+        status = lock.acquire(task)
+        if status == sync.ACQUIRED:
+            task.action = None
+            self._notify_lock_acquired(gcpu)
+            return True
+        self.sim.trace.count('guest.block_waits')
+        self._block_current(gcpu)
+        return False
+
+    def _do_rw_acquire(self, gcpu, task, action):
+        if isinstance(action, act.AcquireRead):
+            status = action.lock.acquire_read(task)
+        else:
+            status = action.lock.acquire_write(task)
+        if status == sync.ACQUIRED:
+            task.action = None
+            self._notify_lock_acquired(gcpu)
+            return True
+        self.sim.trace.count('guest.block_waits')
+        self._block_current(gcpu)
+        return False
+
+    def _do_rw_release(self, gcpu, task, action):
+        self._notify_lock_released(gcpu)
+        if isinstance(action, act.ReleaseRead):
+            woken = action.lock.release_read(task)
+        else:
+            woken = action.lock.release_write(task)
+        for other in woken:
+            other.action = None
+            self._notify_grantee_lock(other)
+            self.wake_task(other)
+
+    def _notify_lock_acquired(self, gcpu):
+        if self.delay_preempt is not None:
+            self.delay_preempt.lock_acquired(gcpu.current)
+
+    def _notify_lock_released(self, gcpu):
+        if self.delay_preempt is not None:
+            self.delay_preempt.lock_released(gcpu.current)
+
+    def _do_release(self, gcpu, task, lock):
+        self._notify_lock_released(gcpu)
+        if isinstance(lock, sync.SpinLock):
+            grantee = lock.release(task, self._actively_spinning)
+            if grantee is not None:
+                self._grant_spin(grantee)
+                self._notify_grantee_lock(grantee)
+        else:
+            new_owner = lock.release(task)
+            if new_owner is not None:
+                new_owner.action = None
+                self._notify_grantee_lock(new_owner)
+                self.wake_task(new_owner)
+
+    def _notify_grantee_lock(self, grantee):
+        """Lock ownership passed directly to a waiter: it is now in a
+        critical section wherever it runs."""
+        if self.delay_preempt is not None:
+            self.delay_preempt.lock_acquired(grantee)
+
+    def _actively_spinning(self, task):
+        """Predicate for unfair spinlocks: is this spinner's pause loop
+        actually executing right now?"""
+        gcpu = task.gcpu
+        return (gcpu is not None and gcpu.current is task and
+                gcpu.run_started_at is not None)
+
+    def _grant_spin(self, grantee):
+        """A spinner won a lock: stop the pause loop and continue."""
+        grantee.spinning = False
+        grantee.action = None
+        gcpu = grantee.gcpu
+        if gcpu.current is grantee and gcpu.run_started_at is not None:
+            self.machine.notify_spin_stop(gcpu.vcpu)
+            self._run_current(gcpu)
+        # Otherwise the grantee's vCPU is preempted: it now *holds* the
+        # lock while frozen — lock-waiter turned lock-holder preemption.
+
+    def _do_barrier(self, gcpu, task, barrier):
+        status, released = barrier.wait(task)
+        if status == sync.PASS:
+            task.action = None
+            for other in released:
+                if barrier.mode == 'block':
+                    other.action = None
+                    self.wake_task(other)
+                else:
+                    self._grant_spin(other)
+            return True
+        if status == sync.WAIT:
+            self.sim.trace.count('guest.block_waits')
+            self._block_current(gcpu)
+            return False
+        # status == SPIN
+        task.spinning = True
+        self.machine.notify_spin_start(gcpu.vcpu)
+        self.sim.trace.count('guest.spin_waits')
+        return False
+
+    def _do_queue_put(self, gcpu, task, action):
+        status, consumer = action.queue.put(task, action.item)
+        if status == sync.PASS:
+            task.action = None
+            if consumer is not None:
+                consumer.action = None
+                self.wake_task(consumer)
+            return True
+        self._block_current(gcpu)
+        return False
+
+    def _do_queue_get(self, gcpu, task, queue):
+        status, item, producer = queue.get(task)
+        if status == sync.PASS:
+            task.action = None
+            task.mailbox = item
+            if producer is not None:
+                producer.action = None
+                self.wake_task(producer)
+            return True
+        self._block_current(gcpu)
+        return False
+
+    # ==================================================================
+    # Time accounting and periodic machinery
+    # ==================================================================
+
+    def _checkpoint(self, gcpu):
+        """Charge the open execution interval to the current task."""
+        task = gcpu.current
+        if task is None or gcpu.run_started_at is None:
+            return
+        delta = self.sim.now - gcpu.run_started_at
+        if delta > 0:
+            task.charge(delta)
+            if isinstance(task.action, act.Compute) and not task.spinning:
+                task.remaining_ns = max(0, task.remaining_ns - delta)
+            gcpu.busy_ns += delta
+        gcpu.run_started_at = self.sim.now
+        gcpu.rq.update_min_vruntime(task)
+
+    def _arm_quantum(self, gcpu):
+        self._cancel_quantum(gcpu)
+        task = gcpu.current
+        gcpu.quantum_event = self.sim.after(
+            task.remaining_ns, self._on_quantum, gcpu)
+
+    def _cancel_quantum(self, gcpu):
+        if gcpu.quantum_event is not None:
+            gcpu.quantum_event.cancel()
+            gcpu.quantum_event = None
+
+    def _on_quantum(self, gcpu):
+        gcpu.quantum_event = None
+        if gcpu.run_started_at is None or not gcpu.vcpu.is_running:
+            return
+        self._checkpoint(gcpu)
+        task = gcpu.current
+        if task is not None and isinstance(task.action, act.Compute) \
+                and task.remaining_ns <= 0:
+            task.action = None
+        self._run_current(gcpu)
+
+    def _arm_tick(self, gcpu):
+        if gcpu.tick_event is None or not gcpu.tick_event.pending:
+            gcpu.tick_event = self.sim.after(
+                self.policy.config.tick_ns, self._on_tick, gcpu)
+
+    def _cancel_tick(self, gcpu):
+        if gcpu.tick_event is not None:
+            gcpu.tick_event.cancel()
+            gcpu.tick_event = None
+
+    def _on_tick(self, gcpu):
+        """Guest timer tick: accounting, balancing, CFS preemption."""
+        gcpu.tick_event = None
+        if not gcpu.vcpu.is_running or gcpu.in_sa_handler:
+            return
+        gcpu.tick_count += 1
+        self._arm_tick(gcpu)
+        gcpu.rt.update()
+        task = gcpu.current
+        if task is None:
+            return
+        self._checkpoint(gcpu)
+        if gcpu.tick_count % self.policy.config.balance_interval_ticks == 0:
+            self.balancer.periodic_balance(gcpu, self.sim.now)
+            if gcpu.rq.nr_ready > 0:
+                self._nohz_kick(gcpu)
+        if gcpu.current is task and self.policy.should_resched_at_tick(
+                task, gcpu.rq):
+            self._preempt_current(gcpu)
+
+    def _nohz_kick(self, busy_gcpu):
+        """NOHZ idle balancing: a busy CPU with queued work kicks one
+        guest-idle sibling so it can wake up and pull (Linux's
+        ``nohz_balancer_kick``). Without this, a vCPU idled by an IRS
+        evacuation — or by ordinary blocking — would never reclaim
+        work, because idle CPUs take no ticks."""
+        for gcpu in self.gcpus:
+            if gcpu is busy_gcpu or not gcpu.online:
+                continue
+            if not gcpu.is_guest_idle:
+                continue
+            if gcpu.vcpu.is_blocked:
+                self.sim.trace.count('guest.nohz_kicks')
+                self.machine.wake_vcpu(gcpu.vcpu)
+                return
+
+    # ==================================================================
+    # CPU hotplug
+    # ==================================================================
+
+    def offline_gcpu(self, index):
+        """Take a guest CPU offline: its tasks are migrated to the
+        remaining online CPUs and the vCPU is parked (like Linux
+        ``echo 0 > /sys/devices/system/cpu/cpuN/online``)."""
+        gcpu = self.gcpus[index]
+        if not gcpu.online:
+            return
+        survivors = [g for g in self.gcpus if g is not gcpu and g.online]
+        if not survivors:
+            raise RuntimeError('cannot offline the last online CPU')
+        gcpu.online = False
+        self.sim.trace.count('guest.cpu_offline')
+        # Evacuate queued tasks.
+        for i, task in enumerate(gcpu.rq.tasks()):
+            self.pull_task(task, survivors[i % len(survivors)])
+        # Evacuate the current task (stop-machine style: we may do it
+        # directly because the vCPU is under our control).
+        task = gcpu.current
+        if task is not None:
+            self._checkpoint(gcpu)
+            self._cancel_quantum(gcpu)
+            if task.spinning:
+                self.machine.notify_spin_stop(gcpu.vcpu)
+            task.state = TASK_READY
+            task.last_descheduled = self.sim.now
+            gcpu.current = None
+            gcpu.rq.enqueue(task)
+            self.pull_task(task, survivors[0])
+            target = survivors[0]
+            if target.vcpu.is_blocked:
+                self.machine.wake_vcpu(target.vcpu)
+        # Park the vCPU if it is running.
+        if gcpu.vcpu.is_running:
+            self._go_idle(gcpu)
+
+    def online_gcpu(self, index):
+        """Bring a guest CPU back online; balancing will repopulate it
+        (NOHZ kicks / periodic pulls)."""
+        gcpu = self.gcpus[index]
+        if gcpu.online:
+            return
+        gcpu.online = True
+        self.sim.trace.count('guest.cpu_online')
+
+    def online_gcpus(self):
+        return [g for g in self.gcpus if g.online]
+
+    # ==================================================================
+    # IRS hooks (used by repro.core)
+    # ==================================================================
+
+    def sa_begin(self, gcpu):
+        """SA upcall arrived: pause the current task's accounting while
+        the handler runs (handler time is kernel time)."""
+        self._checkpoint(gcpu)
+        self._cancel_quantum(gcpu)
+        if gcpu.current is not None and gcpu.current.spinning:
+            self.machine.notify_spin_stop(gcpu.vcpu)
+        gcpu.run_started_at = None
+        gcpu.in_sa_handler = True
+
+    def sa_context_switch(self, gcpu):
+        """Deschedule the current task into migrator limbo. Returns
+        ``(op, task)`` where op is the SCHEDOP to answer with."""
+        task = gcpu.current
+        if task is not None:
+            task.state = TASK_MIGRATING
+            task.irs_tag = True
+            task.last_descheduled = self.sim.now
+            gcpu.current = None
+        op = SCHEDOP_YIELD if gcpu.rq.nr_ready > 0 else SCHEDOP_BLOCK
+        return op, task
+
+    def sa_ack(self, gcpu, op):
+        """Return control to the hypervisor (Algorithm 1 line 15)."""
+        gcpu.in_sa_handler = False
+        self.hypercalls.sched_op(gcpu.vcpu, op)
+
+    def migrate_limbo_task(self, task, target_gcpu, preempt_in_place=False):
+        """Place a migrator-limbo task on ``target_gcpu``."""
+        if task.state != TASK_MIGRATING:
+            return False
+        self._apply_migration_penalty(task)
+        task.migrations += 1
+        self.sim.trace.count('irs.migrations')
+        return self.wake_task(task, target=target_gcpu,
+                              preempt_in_place=preempt_in_place)
+
+    # ==================================================================
+    # Introspection helpers
+    # ==================================================================
+
+    def total_busy_ns(self):
+        """CPU time consumed by this VM's tasks (open stints included)."""
+        total = 0
+        for gcpu in self.gcpus:
+            total += gcpu.busy_ns
+            if gcpu.current is not None and gcpu.run_started_at is not None:
+                total += self.sim.now - gcpu.run_started_at
+        return total
+
+    def live_tasks(self):
+        return [t for t in self.tasks if t.state != TASK_EXITED]

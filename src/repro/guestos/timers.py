@@ -1,0 +1,38 @@
+"""Guest timer service.
+
+Sleep timers are backed by hypervisor one-shot timers (a paravirtual
+guest programs the hypervisor's timer and gets an event-channel kick),
+so a timer can wake a task whose VM has every vCPU blocked. The wakeup
+then flows through the ordinary ``wake_task`` path, including wake
+balancing.
+"""
+
+
+class TimerService:
+    """Arms one-shot wakeups for sleeping tasks."""
+
+    def __init__(self, sim, kernel):
+        self.sim = sim
+        self.kernel = kernel
+        self._armed = {}             # task -> Event
+
+    def arm_sleep(self, task, duration_ns):
+        """Wake ``task`` after ``duration_ns`` of simulated time."""
+        if task in self._armed:
+            raise RuntimeError('%s already has a timer armed' % task.name)
+        self._armed[task] = self.sim.after(duration_ns, self._fire, task)
+
+    def cancel(self, task):
+        """Disarm a pending timer, if any."""
+        event = self._armed.pop(task, None)
+        if event is not None:
+            event.cancel()
+
+    def _fire(self, task):
+        self._armed.pop(task, None)
+        self.kernel.wake_task(task)
+
+    @property
+    def pending(self):
+        """Number of armed timers."""
+        return len(self._armed)

@@ -1,0 +1,43 @@
+"""Event channels: virtual interrupt delivery from hypervisor to guest.
+
+Models the slice of Xen's event-channel machinery IRS needs (Section
+4.1): a dedicated per-vCPU virtual interrupt line. A vIRQ sent to a
+running vCPU is delivered immediately; one sent to a descheduled vCPU
+pends and is delivered when the vCPU is next dispatched.
+"""
+
+VIRQ_SA_UPCALL = 'VIRQ_SA_UPCALL'
+VIRQ_TIMER = 'VIRQ_TIMER'
+
+
+class EventChannels:
+    """Routes virtual interrupts to guest kernels."""
+
+    def __init__(self, sim):
+        self.sim = sim
+
+    def send_virq(self, vcpu, virq):
+        """Deliver ``virq`` to ``vcpu``, pending it if not running."""
+        guest = vcpu.vm.guest
+        if guest is None:
+            # No guest attached: the interrupt vanishes, like a domain
+            # that never bound the channel.
+            self.sim.trace.count('virq.dropped')
+            return
+        if vcpu.is_running:
+            self.sim.trace.count('virq.delivered')
+            guest.deliver_virq(vcpu, virq)
+        else:
+            self.sim.trace.count('virq.pended')
+            if virq not in vcpu.pending_virqs:
+                vcpu.pending_virqs.append(virq)
+
+    def drain_pending(self, vcpu):
+        """Deliver every pended vIRQ (called at dispatch)."""
+        guest = vcpu.vm.guest
+        if guest is None:
+            vcpu.pending_virqs.clear()
+            return
+        while vcpu.pending_virqs:
+            virq = vcpu.pending_virqs.pop(0)
+            guest.deliver_virq(vcpu, virq)

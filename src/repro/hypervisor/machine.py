@@ -1,0 +1,140 @@
+"""The physical machine: pCPUs, VMs, scheduler, and strategy wiring.
+
+A :class:`Machine` is the root object of the hypervisor substrate. The
+scheduling *strategy* — vanilla credit, PLE, relaxed co-scheduling, or
+IRS — is selected by which optional components are attached:
+
+* ``sa_sender`` — the IRS scheduler-activation sender (``repro.core``);
+* ``ple`` — the pause-loop-exiting monitor;
+* ``relaxed_co`` — the relaxed co-scheduling monitor;
+* ``hv_balancer`` — the VM-oblivious vCPU balancer (unpinned mode).
+"""
+
+from .balancer import HypervisorBalancer
+from .channels import EventChannels
+from .credit import CreditConfig, CreditScheduler
+from .hypercalls import HypercallInterface
+from .pcpu import PCpu
+from .ple import PleMonitor
+from .relaxed_co import RelaxedCoScheduler
+
+
+class Machine:
+    """A host: pCPUs + credit scheduler + attached VMs + strategies."""
+
+    def __init__(self, sim, n_pcpus, credit_config=None):
+        if n_pcpus < 1:
+            raise ValueError('need at least one pCPU')
+        self.sim = sim
+        self.pcpus = [PCpu(i) for i in range(n_pcpus)]
+        self.scheduler = CreditScheduler(sim, self,
+                                         credit_config or CreditConfig())
+        self.channels = EventChannels(sim)
+        self.hypercalls = HypercallInterface(self)
+        self.vms = []
+
+        # Strategy slots (None = vanilla behaviour).
+        self.sa_sender = None
+        self.ple = None
+        self.relaxed_co = None
+        self.hv_balancer = None
+        self.delay_preempt = None
+
+    # ------------------------------------------------------------------
+    # Strategy wiring
+    # ------------------------------------------------------------------
+
+    def enable_ple(self, window_ns=None):
+        """Attach the PLE spin detector (HVM-style runs)."""
+        if window_ns is None:
+            self.ple = PleMonitor(self.sim, self)
+        else:
+            self.ple = PleMonitor(self.sim, self, window_ns=window_ns)
+        return self.ple
+
+    def enable_relaxed_co(self, skew_threshold_ns=None):
+        """Attach the relaxed co-scheduling monitor."""
+        if skew_threshold_ns is None:
+            self.relaxed_co = RelaxedCoScheduler(self.sim, self)
+        else:
+            self.relaxed_co = RelaxedCoScheduler(
+                self.sim, self, skew_threshold_ns=skew_threshold_ns)
+        return self.relaxed_co
+
+    def enable_unpinned_balancing(self):
+        """Attach the hypervisor vCPU balancer (vCPUs float freely)."""
+        self.hv_balancer = HypervisorBalancer(self)
+        return self.hv_balancer
+
+    def attach_sa_sender(self, sender):
+        """Attach the IRS scheduler-activation sender."""
+        self.sa_sender = sender
+
+    # ------------------------------------------------------------------
+    # VM lifecycle
+    # ------------------------------------------------------------------
+
+    def add_vm(self, vm, pinning=None):
+        """Register ``vm``. ``pinning`` maps each vCPU to a pCPU index;
+        None leaves the vCPUs floating (requires the balancer for
+        sensible placement)."""
+        if pinning is not None and len(pinning) != vm.n_vcpus:
+            raise ValueError('pinning must name one pCPU per vCPU')
+        self.vms.append(vm)
+        for i, vcpu in enumerate(vm.vcpus):
+            if pinning is not None:
+                pcpu = self.pcpus[pinning[i]]
+                vcpu.pinned_pcpu = pcpu
+            else:
+                pcpu = self.pcpus[i % len(self.pcpus)]
+            self.scheduler.register_vcpu(vcpu, pcpu)
+
+    def start(self):
+        """Arm the scheduler's periodic machinery."""
+        self.scheduler.start()
+
+    # ------------------------------------------------------------------
+    # Hooks from the scheduler
+    # ------------------------------------------------------------------
+
+    def on_vcpu_dispatched(self, vcpu, pcpu):
+        """A vCPU just got a pCPU: deliver pended interrupts."""
+        if self.delay_preempt is not None:
+            self.delay_preempt.on_dispatch(vcpu)
+        if vcpu.pending_virqs:
+            self.channels.drain_pending(vcpu)
+
+    def on_vcpu_descheduled(self, vcpu, pcpu):
+        """A vCPU just lost its pCPU: stop any armed PLE window."""
+        if self.ple is not None:
+            self.ple.on_spin_stop(vcpu)
+
+    # ------------------------------------------------------------------
+    # Guest-visible services
+    # ------------------------------------------------------------------
+
+    def notify_spin_start(self, vcpu):
+        """Guest report: the current task on ``vcpu`` is pause-looping.
+        Only meaningful when PLE is enabled (HVM)."""
+        if self.ple is not None and vcpu.is_running:
+            self.ple.on_spin_start(vcpu)
+
+    def notify_spin_stop(self, vcpu):
+        """Guest report: the pause loop on ``vcpu`` ended."""
+        if self.ple is not None:
+            self.ple.on_spin_stop(vcpu)
+
+    def wake_vcpu(self, vcpu):
+        """Kick a blocked vCPU (guest enqueued work for it)."""
+        self.scheduler.wake(vcpu)
+
+    def fair_share_ns(self, vm, elapsed_ns):
+        """CPU time ``vm`` is entitled to over ``elapsed_ns``: its
+        weight share of the pCPUs its vCPUs compete for."""
+        total_capacity = elapsed_ns * len(self.pcpus)
+        total_weight = sum(m.weight * m.n_vcpus for m in self.vms)
+        if total_weight == 0:
+            return 0
+        share = total_capacity * (vm.weight * vm.n_vcpus) / total_weight
+        # A VM can never use more than one pCPU per vCPU.
+        return min(share, elapsed_ns * vm.n_vcpus)

@@ -1,0 +1,90 @@
+"""Relaxed co-scheduling, as the paper re-implements it (Section 5.1).
+
+Every credit accounting period (30 ms) the monitor measures each sibling
+vCPU's *progress*. Following VMware's definition — and this is the flaw
+the paper exploits in Section 5.2 — a vCPU makes progress when it
+executes guest instructions **or sits idle**: only time spent
+``runnable`` (preempted, wanting CPU) counts as skew. When the fastest
+sibling leads the slowest by more than the threshold, the leader is
+**co-stopped** — made undispatchable until the skew shrinks — and the
+laggard is boosted: the paper's "switch the leading vCPU with its
+slowest sibling".
+
+Because blocked time counts as progress, a vCPU idled by lock waiting
+looks healthy, which is why relaxed-co misfires on blocking workloads
+(Figures 5 and 13).
+"""
+
+from ..simkernel.units import MS
+from .vcpu import PRI_BOOST
+
+DEFAULT_SKEW_THRESHOLD_NS = 30 * MS
+
+
+class RelaxedCoScheduler:
+    """Skew monitor + co-stop/boost for every multi-vCPU VM."""
+
+    def __init__(self, sim, machine,
+                 skew_threshold_ns=DEFAULT_SKEW_THRESHOLD_NS):
+        self.sim = sim
+        self.machine = machine
+        self.skew_threshold_ns = skew_threshold_ns
+        self.costopped = set()
+
+    def _progress_of(self, vcpu):
+        run, __, blocked = vcpu.snapshot_accounting(self.sim.now)
+        return run + blocked
+
+    def on_accounting(self):
+        """Called by the credit scheduler each accounting period. The
+        paper's re-implementation re-evaluates every period: last
+        period's co-stops are lifted, then the current leader is
+        stopped for this period if the skew warrants it."""
+        for vcpu in list(self.costopped):
+            self._release(vcpu)
+        for vm in self.machine.vms:
+            if vm.n_vcpus > 1:
+                self._balance_vm(vm)
+
+    def _balance_vm(self, vm):
+        progress = {v: self._progress_of(v) for v in vm.vcpus}
+        leader = max(vm.vcpus, key=lambda v: progress[v])
+        laggard = min(vm.vcpus, key=lambda v: progress[v])
+        skew = progress[leader] - progress[laggard]
+        if skew <= self.skew_threshold_ns:
+            return
+        if not laggard.is_runnable:
+            # The laggard is blocked (idle) or already running; stopping
+            # the leader would accomplish nothing.
+            return
+        self.sim.trace.count('relaxedco.switches')
+        self._costop(leader)
+        self._boost(laggard)
+
+    # ------------------------------------------------------------------
+
+    def _costop(self, vcpu):
+        """Make the leader undispatchable until released."""
+        if vcpu.costopped:
+            return
+        vcpu.costopped = True
+        self.costopped.add(vcpu)
+        self.sim.trace.count('relaxedco.costops')
+        if vcpu.is_running:
+            self.machine.scheduler.force_yield(vcpu)
+
+    def _release(self, vcpu):
+        vcpu.costopped = False
+        self.costopped.discard(vcpu)
+        pcpu = vcpu.pcpu
+        if pcpu is not None and vcpu in pcpu.runq:
+            self.machine.scheduler._tickle(pcpu)
+
+    def _boost(self, laggard):
+        """Move the laggard to the head of its pCPU's queue."""
+        pcpu = laggard.pcpu
+        if laggard in pcpu.runq:
+            pcpu.remove_vcpu(laggard)
+            laggard.priority = PRI_BOOST
+            pcpu.insert_vcpu_head(laggard)
+            self.machine.scheduler._tickle(pcpu)

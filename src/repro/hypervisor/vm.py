@@ -1,0 +1,57 @@
+"""Virtual machine (domain) model.
+
+A VM groups sibling vCPUs, carries the scheduling weight used by the
+credit scheduler's proportional-share accounting, and advertises whether
+its guest kernel implements the IRS ``VIRQ_SA_UPCALL`` handler. A guest
+without the handler ignores scheduler activations, exactly like the
+vanilla background VM in the paper's Section 5.4 experiments.
+"""
+
+from .vcpu import VCpu
+
+DEFAULT_WEIGHT = 256
+
+
+class VM:
+    """A domain: a named set of sibling vCPUs plus a guest kernel."""
+
+    def __init__(self, name, n_vcpus, sim, weight=DEFAULT_WEIGHT):
+        if n_vcpus < 1:
+            raise ValueError('a VM needs at least one vCPU')
+        self.name = name
+        self.sim = sim
+        self.weight = weight
+        self.vcpus = [VCpu(self, i, sim) for i in range(n_vcpus)]
+        # The guest kernel attaches itself here (duck-typed interface:
+        # vcpu_started_running / vcpu_stopped_running / deliver_virq).
+        self.guest = None
+        # True once the guest registers the SA upcall handler.
+        self.irs_capable = False
+
+    @property
+    def n_vcpus(self):
+        return len(self.vcpus)
+
+    def attach_guest(self, guest, irs_capable=False):
+        """Bind a guest kernel to this VM's vCPUs."""
+        self.guest = guest
+        self.irs_capable = irs_capable
+
+    def siblings_of(self, vcpu):
+        """All vCPUs of this VM except ``vcpu``."""
+        return [v for v in self.vcpus if v is not vcpu]
+
+    def total_runstate(self, now):
+        """Aggregate (run_ns, steal_ns, blocked_ns) over all vCPUs."""
+        run = steal = blocked = 0
+        for vcpu in self.vcpus:
+            r, s, b = vcpu.snapshot_accounting(now)
+            run += r
+            steal += s
+            blocked += b
+        return run, steal, blocked
+
+    def __repr__(self):
+        return '<VM %s %d vCPUs weight=%d%s>' % (
+            self.name, self.n_vcpus, self.weight,
+            ' IRS' if self.irs_capable else '')

@@ -1,0 +1,67 @@
+"""Run-level measurement collection.
+
+A :class:`RunMetrics` snapshot gathers, at the end of a simulated run,
+the quantities every experiment reports: per-VM runstate breakdowns,
+per-task CPU and migration counts, and machine-level utilization.
+"""
+
+
+class VmMetrics:
+    """Aggregate accounting for one VM."""
+
+    def __init__(self, vm, now):
+        run, steal, blocked = vm.total_runstate(now)
+        self.name = vm.name
+        self.n_vcpus = vm.n_vcpus
+        self.run_ns = run
+        self.steal_ns = steal
+        self.blocked_ns = blocked
+
+    def utilization(self, elapsed_ns):
+        """Fraction of one pCPU-equivalent per vCPU actually used."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.run_ns / (elapsed_ns * self.n_vcpus)
+
+
+class TaskMetrics:
+    """Aggregate accounting for one task."""
+
+    def __init__(self, task):
+        self.name = task.name
+        self.cpu_ns = task.cpu_ns
+        self.migrations = task.migrations
+        self.wakeups = task.wakeups
+        self.started_at = task.started_at
+        self.finished_at = task.finished_at
+
+    @property
+    def turnaround_ns(self):
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class RunMetrics:
+    """End-of-run snapshot across the whole machine."""
+
+    def __init__(self, machine, kernels, elapsed_ns):
+        now = machine.sim.now
+        self.elapsed_ns = elapsed_ns
+        self.vms = {vm.name: VmMetrics(vm, now) for vm in machine.vms}
+        self.tasks = {}
+        for kernel in kernels:
+            for task in kernel.tasks:
+                self.tasks[task.name] = TaskMetrics(task)
+        self.counters = dict(machine.sim.trace.counters)
+        self.pcpu_busy_ns = [p.snapshot_busy(now) for p in machine.pcpus]
+
+    def machine_utilization(self):
+        """Mean busy fraction across pCPUs."""
+        if self.elapsed_ns <= 0 or not self.pcpu_busy_ns:
+            return 0.0
+        total = sum(self.pcpu_busy_ns)
+        return total / (self.elapsed_ns * len(self.pcpu_busy_ns))
+
+    def vm_utilization(self, vm_name):
+        return self.vms[vm_name].utilization(self.elapsed_ns)

@@ -1,0 +1,64 @@
+"""Latency recording and percentile summaries."""
+
+import math
+
+
+class LatencyRecorder:
+    """Collects latency samples (ns) and answers percentile queries."""
+
+    def __init__(self, name='latency'):
+        self.name = name
+        self.samples = []
+
+    def record(self, value_ns):
+        if value_ns < 0:
+            raise ValueError('negative latency %r' % value_ns)
+        self.samples.append(value_ns)
+
+    def __len__(self):
+        return len(self.samples)
+
+    @property
+    def count(self):
+        return len(self.samples)
+
+    def mean(self):
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, p):
+        """Linear-interpolated percentile, p in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError('percentile must be in [0, 100]')
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return float(ordered[0])
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = min(low + 1, len(ordered) - 1)
+        if ordered[low] == ordered[high]:
+            return float(ordered[low])
+        frac = rank - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+    def p50(self):
+        return self.percentile(50)
+
+    def p99(self):
+        return self.percentile(99)
+
+    def max(self):
+        return max(self.samples) if self.samples else 0.0
+
+    def summary(self):
+        """Dict of the usual aggregates (ns)."""
+        return {
+            'count': self.count,
+            'mean': self.mean(),
+            'p50': self.p50(),
+            'p99': self.p99(),
+            'max': self.max(),
+        }

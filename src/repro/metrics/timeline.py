@@ -1,0 +1,133 @@
+"""Runstate timelines: record who ran where, render it readably.
+
+A :class:`TimelineRecorder` samples vCPU runstates and guest current
+tasks on a fixed period and renders an ASCII gantt — the quickest way
+to *see* lock-holder preemption, scheduler activations, and CPU
+stacking happen. Used by examples and by tests that assert on
+occupancy patterns.
+"""
+
+from ..simkernel.units import MS
+
+RUNSTATE_GLYPHS = {
+    'running': '#',
+    'runnable': '.',
+    'blocked': ' ',
+    'offline': '-',
+}
+
+
+class TimelineSample:
+    """One sampling instant across the machine."""
+
+    __slots__ = ('time', 'vcpu_states', 'vcpu_tasks', 'vcpu_pcpus')
+
+    def __init__(self, time, vcpu_states, vcpu_tasks, vcpu_pcpus):
+        self.time = time
+        self.vcpu_states = vcpu_states      # vcpu name -> runstate
+        self.vcpu_tasks = vcpu_tasks        # vcpu name -> task name/None
+        self.vcpu_pcpus = vcpu_pcpus        # vcpu name -> pcpu index
+
+
+class TimelineRecorder:
+    """Samples the machine every ``period_ns`` while armed."""
+
+    def __init__(self, sim, machine, period_ns=1 * MS, max_samples=100_000):
+        self.sim = sim
+        self.machine = machine
+        self.period_ns = period_ns
+        self.max_samples = max_samples
+        self.samples = []
+        self._armed = None
+
+    def start(self):
+        """Begin sampling (idempotent)."""
+        if self._armed is None or not self._armed.pending:
+            self._armed = self.sim.after(self.period_ns, self._sample)
+        return self
+
+    def stop(self):
+        if self._armed is not None:
+            self._armed.cancel()
+            self._armed = None
+
+    def _sample(self):
+        states, tasks, pcpus = {}, {}, {}
+        for vm in self.machine.vms:
+            for vcpu in vm.vcpus:
+                states[vcpu.name] = vcpu.runstate
+                gcpu = vcpu.gcpu
+                tasks[vcpu.name] = (gcpu.current.name
+                                    if gcpu is not None
+                                    and gcpu.current is not None else None)
+                pcpus[vcpu.name] = vcpu.pcpu.index if vcpu.pcpu else None
+        self.samples.append(TimelineSample(self.sim.now, states, tasks,
+                                           pcpus))
+        if len(self.samples) < self.max_samples:
+            self._armed = self.sim.after(self.period_ns, self._sample)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def occupancy(self, vcpu_name):
+        """Fraction of samples in each runstate for one vCPU."""
+        counts = {}
+        total = 0
+        for sample in self.samples:
+            state = sample.vcpu_states.get(vcpu_name)
+            if state is None:
+                continue
+            counts[state] = counts.get(state, 0) + 1
+            total += 1
+        if total == 0:
+            return {}
+        return {state: n / total for state, n in counts.items()}
+
+    def colocation_fraction(self, vm):
+        """Fraction of samples in which two or more of ``vm``'s vCPUs
+        share a pCPU (the CPU-stacking measure)."""
+        if not self.samples:
+            return 0.0
+        names = [v.name for v in vm.vcpus]
+        stacked = 0
+        for sample in self.samples:
+            homes = [sample.vcpu_pcpus.get(n) for n in names]
+            homes = [h for h in homes if h is not None]
+            if len(homes) != len(set(homes)):
+                stacked += 1
+        return stacked / len(self.samples)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self, width=80, vcpus=None):
+        """ASCII gantt: one row per vCPU, one column per bucket of
+        samples. ``#`` running, ``.`` runnable (preempted), blank
+        blocked."""
+        if not self.samples:
+            return '(no samples)'
+        if vcpus is None:
+            vcpus = [v.name for vm in self.machine.vms for v in vm.vcpus]
+        per_bucket = max(1, len(self.samples) // width)
+        lines = []
+        name_width = max(len(n) for n in vcpus)
+        for name in vcpus:
+            cells = []
+            for start in range(0, len(self.samples), per_bucket):
+                bucket = self.samples[start:start + per_bucket]
+                # Majority state within the bucket.
+                tally = {}
+                for sample in bucket:
+                    state = sample.vcpu_states.get(name, 'offline')
+                    tally[state] = tally.get(state, 0) + 1
+                majority = max(tally, key=tally.get)
+                cells.append(RUNSTATE_GLYPHS.get(majority, '?'))
+            lines.append('%s |%s|' % (name.rjust(name_width),
+                                      ''.join(cells)))
+        span_ms = (self.samples[-1].time - self.samples[0].time) / MS
+        lines.append('%s  %s' % (' ' * name_width,
+                                 '(%.0f ms span; # running, . preempted, '
+                                 'blank blocked)' % span_ms))
+        return '\n'.join(lines)

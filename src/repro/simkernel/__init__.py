@@ -1,0 +1,29 @@
+"""Discrete-event simulation substrate.
+
+Provides the clock, cancellable event queue, deterministic random
+streams, and tracing used by every other subsystem.
+"""
+
+from .events import Event, EventQueue
+from .rng import RngRegistry
+from .simulation import SimulationError, Simulator
+from .tracing import TraceRecord, Tracer
+from .units import MICROSECOND, MILLISECOND, MS, NS, SEC, SECOND, US, format_ns
+
+__all__ = [
+    'Event',
+    'EventQueue',
+    'MICROSECOND',
+    'MILLISECOND',
+    'MS',
+    'NS',
+    'RngRegistry',
+    'SEC',
+    'SECOND',
+    'SimulationError',
+    'Simulator',
+    'TraceRecord',
+    'Tracer',
+    'US',
+    'format_ns',
+]

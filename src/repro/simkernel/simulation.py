@@ -1,0 +1,120 @@
+"""The simulator: a clock plus an event queue plus shared services.
+
+Every model object (hypervisor scheduler, guest kernel, workload program)
+holds a reference to one :class:`Simulator` and advances exclusively by
+scheduling callbacks on it. The simulator is single-threaded and
+deterministic: given the same seed and model, two runs produce identical
+event sequences.
+"""
+
+from .events import EventQueue
+from .rng import RngRegistry
+from .tracing import Tracer
+
+
+class SimulationError(Exception):
+    """Raised for structural errors in the simulation (e.g. time travel)."""
+
+
+class Simulator:
+    """Discrete-event simulation driver.
+
+    Attributes:
+        now: current simulation time in integer nanoseconds.
+        rng: the :class:`RngRegistry` for all model randomness.
+        trace: the :class:`Tracer` for counters and debug records.
+    """
+
+    def __init__(self, seed=0, trace=False, trace_categories=None):
+        self.now = 0
+        self._queue = EventQueue()
+        self.rng = RngRegistry(seed)
+        self.trace = Tracer(enabled=trace, categories=trace_categories)
+        self._stopped = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def at(self, time, callback, *args):
+        """Schedule ``callback(*args)`` at absolute time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                'cannot schedule at %d, now is %d' % (time, self.now))
+        return self._queue.schedule(time, callback, *args)
+
+    def after(self, delay, callback, *args):
+        """Schedule ``callback(*args)`` ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError('negative delay %d' % delay)
+        return self._queue.schedule(self.now + delay, callback, *args)
+
+    def call_soon(self, callback, *args):
+        """Schedule ``callback(*args)`` at the current time (after any
+        event currently firing completes)."""
+        return self._queue.schedule(self.now, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def stop(self):
+        """Make the current run loop return after the in-flight event."""
+        self._stopped = True
+
+    def step(self):
+        """Process one event. Returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError(
+                'event at %d in the past (now %d)' % (event.time, self.now))
+        self.now = event.time
+        self._events_processed += 1
+        event.callback(*event.args)
+        return True
+
+    def run_until(self, end_time, max_events=None):
+        """Run until the clock passes ``end_time``, the queue drains, or
+        ``stop()`` is called. Returns the number of events processed.
+
+        ``max_events`` is a safety valve for tests: exceeding it raises
+        :class:`SimulationError` (it indicates a livelock in the model).
+        """
+        processed = 0
+        self._stopped = False
+        while not self._stopped:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > end_time:
+                self.now = max(self.now, end_time)
+                break
+            if not self.step():
+                break
+            processed += 1
+            if max_events is not None and processed > max_events:
+                raise SimulationError(
+                    'exceeded %d events before %d' % (max_events, end_time))
+        return processed
+
+    def run_until_idle(self, max_events=10_000_000):
+        """Run until no events remain (or ``stop()``). Returns event count."""
+        processed = 0
+        self._stopped = False
+        while not self._stopped and self.step():
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    'exceeded %d events while draining' % max_events)
+        return processed
+
+    @property
+    def pending_events(self):
+        """Number of live events in the queue."""
+        return len(self._queue)
+
+    @property
+    def events_processed(self):
+        """Total events processed since construction."""
+        return self._events_processed

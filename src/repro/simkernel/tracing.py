@@ -1,0 +1,58 @@
+"""Lightweight tracing and counters.
+
+The tracer records structured events (time, category, payload) when
+enabled and maintains named counters unconditionally. Counters are the
+backbone of the metrics layer; the event trace exists for debugging and
+for tests that assert on scheduler behaviour sequences.
+"""
+
+from collections import Counter
+
+
+class TraceRecord:
+    """One trace entry: what happened, when, and to whom."""
+
+    __slots__ = ('time', 'category', 'detail')
+
+    def __init__(self, time, category, detail):
+        self.time = time
+        self.category = category
+        self.detail = detail
+
+    def __repr__(self):
+        return '<%d %s %r>' % (self.time, self.category, self.detail)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries and named counters."""
+
+    def __init__(self, enabled=False, categories=None):
+        self.enabled = enabled
+        self.categories = set(categories) if categories else None
+        self.records = []
+        self.counters = Counter()
+
+    def emit(self, time, category, **detail):
+        """Record a trace event if tracing is on for this category."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time, category, detail))
+
+    def count(self, name, amount=1):
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] += amount
+
+    def add_time(self, name, duration_ns):
+        """Accumulate a duration (ns) under counter ``name``."""
+        self.counters[name] += duration_ns
+
+    def records_for(self, category):
+        """All trace records of one category, in emission order."""
+        return [r for r in self.records if r.category == category]
+
+    def clear(self):
+        """Drop all records and counters."""
+        self.records.clear()
+        self.counters.clear()

@@ -1,0 +1,49 @@
+"""Time units for the simulator.
+
+All simulation time is expressed as integer nanoseconds. Using integers
+keeps event ordering exact and runs reproducible: there is no floating
+point drift when quanta are split by preemptions.
+"""
+
+NANOSECOND = 1
+MICROSECOND = 1_000
+MILLISECOND = 1_000_000
+SECOND = 1_000_000_000
+
+# Short aliases used pervasively in scheduler code.
+NS = NANOSECOND
+US = MICROSECOND
+MS = MILLISECOND
+SEC = SECOND
+
+
+def ns_to_ms(value_ns):
+    """Convert integer nanoseconds to float milliseconds (for reporting)."""
+    return value_ns / MILLISECOND
+
+
+def ns_to_us(value_ns):
+    """Convert integer nanoseconds to float microseconds (for reporting)."""
+    return value_ns / MICROSECOND
+
+
+def ns_to_sec(value_ns):
+    """Convert integer nanoseconds to float seconds (for reporting)."""
+    return value_ns / SECOND
+
+
+def format_ns(value_ns):
+    """Render a duration with a human-friendly unit.
+
+    >>> format_ns(1500)
+    '1.500us'
+    >>> format_ns(30 * MILLISECOND)
+    '30.000ms'
+    """
+    if value_ns >= SECOND:
+        return '%.3fs' % (value_ns / SECOND)
+    if value_ns >= MILLISECOND:
+        return '%.3fms' % (value_ns / MILLISECOND)
+    if value_ns >= MICROSECOND:
+        return '%.3fus' % (value_ns / MICROSECOND)
+    return '%dns' % value_ns

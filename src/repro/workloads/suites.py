@@ -1,0 +1,346 @@
+"""Named benchmark profiles (PARSEC, NPB) and the workload driver.
+
+Each profile captures the synchronization *structure* of the named
+benchmark — blocking vs spinning, barrier vs mutex vs pipeline vs work
+stealing, and granularity relative to the hypervisor's 30 ms slice —
+which is what determines LHP/LWP behaviour. Durations are uniformly
+scaled so a native-input run shrinks to ~1–2 simulated seconds; ratios
+to the scheduler constants are preserved for the fine-grained programs
+(granularities follow Section 5.1's characterization).
+"""
+
+from ..simkernel.units import MS, SEC, US
+from . import program as prog
+from .sync import Barrier, BoundedQueue, Mutex, SpinLock
+
+KIND_BARRIER = 'barrier'
+KIND_MUTEX = 'mutex'
+KIND_BARRIER_MUTEX = 'barrier+mutex'
+KIND_PIPELINE = 'pipeline'
+KIND_WORKSTEAL = 'worksteal'
+KIND_COMPUTE = 'compute'
+
+MODE_BLOCK = 'block'
+MODE_SPIN = 'spin'
+
+DEFAULT_TOTAL_NS = int(1.2 * SEC)
+
+
+class WorkloadProfile:
+    """Synchronization profile of one named benchmark."""
+
+    def __init__(self, name, suite, kind, mode=MODE_BLOCK, phase_ns=50 * MS,
+                 critical_ns=0, jitter=0.1, total_ns=DEFAULT_TOTAL_NS,
+                 cache_footprint=1.0, stages=1, unit_ns=4 * MS,
+                 region_every=0):
+        self.name = name
+        self.suite = suite
+        self.kind = kind
+        self.mode = mode
+        self.phase_ns = phase_ns
+        self.critical_ns = critical_ns
+        self.jitter = jitter
+        self.total_ns = total_ns
+        self.cache_footprint = cache_footprint
+        self.stages = stages
+        self.unit_ns = unit_ns
+        # For spinning workloads: every Nth barrier is a blocking
+        # OpenMP parallel-region boundary (0 = never).
+        self.region_every = region_every
+
+    def __repr__(self):
+        return '<Profile %s %s/%s phase=%dus>' % (
+            self.name, self.kind, self.mode, self.phase_ns // US)
+
+
+def _p(name, **kw):
+    return WorkloadProfile(name, 'parsec', **kw)
+
+
+def _n(name, **kw):
+    kw.setdefault('mode', MODE_SPIN)
+    if kw['mode'] == MODE_SPIN:
+        # OpenMP blocks at parallel-region boundaries even when the
+        # in-region waiting policy is active spinning.
+        kw.setdefault('region_every', 5)
+    return WorkloadProfile(name, 'npb', kind=KIND_BARRIER, **kw)
+
+
+# PARSEC: pthreads, blocking synchronization (Section 5.1).
+PARSEC = {p.name: p for p in [
+    _p('blackscholes', kind=KIND_BARRIER, phase_ns=100 * MS, jitter=0.05,
+       cache_footprint=0.5),
+    _p('bodytrack', kind=KIND_BARRIER_MUTEX, phase_ns=30 * MS,
+       critical_ns=100 * US, jitter=0.25),
+    _p('canneal', kind=KIND_MUTEX, phase_ns=800 * US, critical_ns=8 * US,
+       jitter=0.2, cache_footprint=2.0),
+    _p('dedup', kind=KIND_PIPELINE, stages=4, unit_ns=2 * MS, jitter=0.3,
+       cache_footprint=1.5),
+    _p('facesim', kind=KIND_BARRIER, phase_ns=70 * MS, jitter=0.15,
+       cache_footprint=1.5),
+    _p('ferret', kind=KIND_PIPELINE, stages=5, unit_ns=2 * MS, jitter=0.3),
+    _p('fluidanimate', kind=KIND_BARRIER_MUTEX, phase_ns=60 * MS,
+       critical_ns=20 * US, jitter=0.2, cache_footprint=1.2),
+    _p('raytrace', kind=KIND_WORKSTEAL, unit_ns=4 * MS, jitter=0.3,
+       cache_footprint=0.8),
+    _p('streamcluster', kind=KIND_BARRIER, phase_ns=25 * MS, jitter=0.1,
+       cache_footprint=1.5),
+    _p('swaptions', kind=KIND_COMPUTE, phase_ns=50 * MS, jitter=0.05,
+       cache_footprint=0.5),
+    _p('vips', kind=KIND_MUTEX, phase_ns=4 * MS, critical_ns=30 * US,
+       jitter=0.2),
+    _p('x264', kind=KIND_MUTEX, phase_ns=8 * MS, critical_ns=150 * US,
+       jitter=0.35),
+]}
+
+# NPB class C, OpenMP with OMP_WAIT_POLICY=active (spinning), except EP
+# which the paper runs blocking (Figure 10).
+NPB = {p.name: p for p in [
+    _n('BT', phase_ns=80 * MS, jitter=0.1),
+    _n('CG', phase_ns=20 * MS, jitter=0.1),
+    _n('EP', mode=MODE_BLOCK, phase_ns=300 * MS, jitter=0.05),
+    _n('FT', phase_ns=60 * MS, jitter=0.1),
+    _n('IS', phase_ns=10 * MS, jitter=0.15),
+    _n('LU', phase_ns=250 * MS, jitter=0.1),
+    _n('MG', phase_ns=15 * MS, jitter=0.15),
+    _n('SP', phase_ns=25 * MS, jitter=0.1),
+    _n('UA', phase_ns=40 * MS, jitter=0.2),
+]}
+
+ALL_PROFILES = {}
+ALL_PROFILES.update(PARSEC)
+ALL_PROFILES.update(NPB)
+
+
+def get_profile(name):
+    """Look up a benchmark profile by name (case-sensitive)."""
+    try:
+        return ALL_PROFILES[name]
+    except KeyError:
+        raise KeyError('unknown benchmark %r; known: %s'
+                       % (name, ', '.join(sorted(ALL_PROFILES))))
+
+
+def profile_variant(profile, **overrides):
+    """A copy of ``profile`` with fields overridden (e.g. forcing MG to
+    spin or blocking mode for the Figure 10 study)."""
+    fields = dict(
+        name=profile.name, suite=profile.suite, kind=profile.kind,
+        mode=profile.mode, phase_ns=profile.phase_ns,
+        critical_ns=profile.critical_ns, jitter=profile.jitter,
+        total_ns=profile.total_ns, cache_footprint=profile.cache_footprint,
+        stages=profile.stages, unit_ns=profile.unit_ns,
+        region_every=profile.region_every)
+    fields.update(overrides)
+    return WorkloadProfile(**fields)
+
+
+class ParallelWorkload:
+    """Instantiates a profile as tasks in a guest kernel and tracks
+    progress and completion."""
+
+    def __init__(self, sim, kernel, profile, n_threads=None, repeat=False,
+                 scale=1.0, prefix=None):
+        self.sim = sim
+        self.kernel = kernel
+        self.profile = profile
+        self.n_threads = n_threads or len(kernel.gcpus)
+        self.repeat = repeat
+        self.scale = scale
+        self.prefix = prefix or '%s.%s' % (kernel.vm.name, profile.name)
+        self.tasks = []
+        self.started_at = None
+        self.done_at = None
+        self.progress_events = 0
+        self._exited = 0
+
+    # ------------------------------------------------------------------
+
+    def install(self):
+        """Spawn the workload's tasks (one per vCPU by default)."""
+        self.started_at = self.sim.now
+        programs = self._make_programs()
+        for i, (name, body) in enumerate(programs):
+            task = self.kernel.spawn(
+                name, body, gcpu_index=i % len(self.kernel.gcpus),
+                cache_footprint=self.profile.cache_footprint,
+                on_exit=self._on_task_exit)
+            self.tasks.append(task)
+        return self
+
+    def _on_task_exit(self, task, now):
+        self._exited += 1
+        if self._exited == len(self.tasks):
+            self.done_at = now
+
+    def _on_progress(self, now):
+        self.progress_events += 1
+
+    @property
+    def is_done(self):
+        return self.done_at is not None
+
+    def makespan_ns(self):
+        if self.done_at is None:
+            return None
+        return self.done_at - self.started_at
+
+    def progress_rate(self, now=None):
+        """Progress events (phases/iterations/items) per second —
+        the throughput measure for repeating background workloads."""
+        now = self.sim.now if now is None else now
+        elapsed = now - self.started_at
+        if elapsed <= 0:
+            return 0.0
+        return self.progress_events / (elapsed / SEC)
+
+    # ------------------------------------------------------------------
+    # Program construction
+    # ------------------------------------------------------------------
+
+    def _scaled_total(self):
+        return int(self.profile.total_ns * self.scale)
+
+    def _make_programs(self):
+        kind = self.profile.kind
+        if kind == KIND_BARRIER:
+            return self._barrier_programs(critical=False)
+        if kind == KIND_BARRIER_MUTEX:
+            return self._barrier_programs(critical=True)
+        if kind == KIND_MUTEX:
+            return self._mutex_programs()
+        if kind == KIND_PIPELINE:
+            return self._pipeline_programs()
+        if kind == KIND_WORKSTEAL:
+            return self._worksteal_programs()
+        if kind == KIND_COMPUTE:
+            return self._compute_programs()
+        raise ValueError('unknown workload kind %r' % kind)
+
+    def _loop(self, factory):
+        """Endless repetition of a program for background interferers."""
+        def forever():
+            while True:
+                for action in factory():
+                    yield action
+        return forever()
+
+    def _body(self, factory):
+        return self._loop(factory) if self.repeat else factory()
+
+    def _barrier_programs(self, critical):
+        p = self.profile
+        barrier = Barrier(self.n_threads, name='%s.bar' % self.prefix,
+                          mode=p.mode)
+        region_barrier = None
+        if p.mode == MODE_SPIN and p.region_every > 0:
+            region_barrier = Barrier(self.n_threads,
+                                     name='%s.region' % self.prefix,
+                                     mode=MODE_BLOCK)
+        mutex = None
+        if critical:
+            mutex = (Mutex('%s.mtx' % self.prefix) if p.mode == MODE_BLOCK
+                     else SpinLock('%s.mtx' % self.prefix))
+        phases = max(1, self._scaled_total() // p.phase_ns)
+        programs = []
+        for i in range(self.n_threads):
+            stream = '%s.t%d' % (self.prefix, i)
+
+            def factory(stream=stream):
+                return prog.barrier_phases(
+                    self.sim, stream, barrier, p.phase_ns, phases,
+                    jitter=p.jitter,
+                    critical=(mutex, p.critical_ns) if mutex else None,
+                    on_phase=self._on_progress,
+                    region_barrier=region_barrier,
+                    region_every=p.region_every)
+            programs.append(('%s.t%d' % (self.prefix, i),
+                             self._body(factory)))
+        return programs
+
+    def _mutex_programs(self):
+        p = self.profile
+        lock = (Mutex('%s.mtx' % self.prefix) if p.mode == MODE_BLOCK
+                else SpinLock('%s.mtx' % self.prefix))
+        iterations = max(1, self._scaled_total() // p.phase_ns)
+        programs = []
+        for i in range(self.n_threads):
+            stream = '%s.t%d' % (self.prefix, i)
+
+            def factory(stream=stream):
+                return prog.mutex_loop(
+                    self.sim, stream, lock, p.phase_ns, p.critical_ns,
+                    iterations, jitter=p.jitter,
+                    on_iteration=self._on_progress)
+            programs.append(('%s.t%d' % (self.prefix, i),
+                             self._body(factory)))
+        return programs
+
+    def _compute_programs(self):
+        p = self.profile
+        total = self._scaled_total()
+        programs = []
+        for i in range(self.n_threads):
+            def factory():
+                return self._counted_chunks(total, p.phase_ns)
+            programs.append(('%s.t%d' % (self.prefix, i),
+                             self._body(factory)))
+        return programs
+
+    def _counted_chunks(self, total_ns, chunk_ns):
+        for action in prog.compute_chunks(total_ns, chunk_ns):
+            yield action
+            self._on_progress(self.sim.now)
+
+    def _worksteal_programs(self):
+        if self.repeat:
+            raise ValueError('work-stealing workloads do not support '
+                             'repeat mode (the pool drains)')
+        p = self.profile
+        n_units = max(self.n_threads,
+                      self.n_threads * self._scaled_total() // p.unit_ns)
+        rng = self.sim.rng.stream('%s.pool' % self.prefix)
+        spread = int(p.unit_ns * p.jitter)
+        pool = [p.unit_ns + (rng.randint(-spread, spread) if spread else 0)
+                for __ in range(n_units)]
+        programs = []
+        for i in range(self.n_threads):
+            programs.append((
+                '%s.t%d' % (self.prefix, i),
+                prog.work_steal_worker(self.sim, pool,
+                                       on_unit=self._on_progress)))
+        return programs
+
+    def _pipeline_programs(self):
+        if self.repeat:
+            raise ValueError('pipeline workloads do not support repeat '
+                             'mode (stop tokens terminate the stages)')
+        p = self.profile
+        n_stages = p.stages
+        threads_per_stage = self.n_threads
+        items_per_source = max(1, self._scaled_total() // (p.unit_ns *
+                                                           n_stages))
+        queues = [BoundedQueue(8, name='%s.q%d' % (self.prefix, s))
+                  for s in range(n_stages - 1)]
+        counters = [[0] for __ in range(n_stages)]
+        programs = []
+        for s in range(n_stages):
+            for i in range(threads_per_stage):
+                name = '%s.s%dt%d' % (self.prefix, s, i)
+                stream = name
+                if s == 0:
+                    body = prog.pipeline_source(
+                        self.sim, stream, queues[0], items_per_source,
+                        p.unit_ns, p.jitter, counters[0],
+                        threads_per_stage, threads_per_stage)
+                elif s == n_stages - 1:
+                    body = prog.pipeline_sink(
+                        self.sim, stream, queues[s - 1], p.unit_ns,
+                        p.jitter, on_item=self._on_progress)
+                else:
+                    body = prog.pipeline_stage(
+                        self.sim, stream, queues[s - 1], queues[s],
+                        p.unit_ns, p.jitter, counters[s],
+                        threads_per_stage, threads_per_stage)
+                programs.append((name, body))
+        return programs

@@ -1,0 +1,42 @@
+"""Shared test fixtures and builders."""
+
+import pytest
+
+from repro.guestos import GuestKernel
+from repro.hypervisor import Machine, VM
+from repro.simkernel import Simulator
+from repro.simkernel.units import MS, SEC
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=42)
+
+
+def build_machine(sim, n_pcpus=1):
+    return Machine(sim, n_pcpus=n_pcpus)
+
+
+def build_vm(sim, machine, name='vm', n_vcpus=1, pinning=None):
+    vm = VM(name, n_vcpus, sim)
+    machine.add_vm(vm, pinning=pinning)
+    kernel = GuestKernel(sim, vm, machine)
+    return vm, kernel
+
+
+def single_vm_machine(sim, n_pcpus=1, n_vcpus=1, pinning=None):
+    """One machine, one VM pinned 1:1 by default."""
+    machine = build_machine(sim, n_pcpus)
+    if pinning is None and n_vcpus <= n_pcpus:
+        pinning = list(range(n_vcpus))
+    vm, kernel = build_vm(sim, machine, n_vcpus=n_vcpus, pinning=pinning)
+    machine.start()
+    return machine, vm, kernel
+
+
+def run_for(sim, duration_ns):
+    sim.run_until(sim.now + duration_ns)
+
+
+__all__ = ['build_machine', 'build_vm', 'single_vm_machine', 'run_for',
+           'MS', 'SEC']

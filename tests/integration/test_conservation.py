@@ -1,0 +1,103 @@
+"""Time-conservation properties of the two-level scheduler.
+
+CPU time is neither created nor destroyed: what tasks are charged must
+equal what their vCPUs actually ran (minus bounded kernel overheads),
+and vCPU runstate buckets must tile wall-clock time exactly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import install_irs
+from repro.simkernel import Simulator
+from repro.simkernel.units import MS, SEC, US
+from repro.workloads import (
+    Acquire,
+    Barrier,
+    BarrierWait,
+    Compute,
+    Mutex,
+    Release,
+    cpu_hog,
+)
+
+from conftest import build_machine, build_vm
+
+
+def build(seed, strategy, workload_kind, n_pcpus=2):
+    sim = Simulator(seed=seed)
+    machine = build_machine(sim, n_pcpus)
+    vm, kernel = build_vm(sim, machine, 'fg', n_vcpus=n_pcpus,
+                          pinning=list(range(n_pcpus)))
+    __, hk = build_vm(sim, machine, 'hog', pinning=[0])
+    hk.spawn('hog', cpu_hog(7 * MS))
+    if strategy == 'irs':
+        install_irs(machine, [kernel])
+
+    if workload_kind == 'barrier':
+        barrier = Barrier(n_pcpus, mode='block')
+
+        def body():
+            for __ in range(50):
+                yield Compute(2 * MS)
+                yield BarrierWait(barrier)
+    elif workload_kind == 'mutex':
+        lock = Mutex()
+
+        def body():
+            for __ in range(50):
+                yield Compute(1 * MS)
+                yield Acquire(lock)
+                yield Compute(100 * US)
+                yield Release(lock)
+    else:
+        def body():
+            yield Compute(200 * MS)
+
+    for i in range(n_pcpus):
+        kernel.spawn('w%d' % i, body(), gcpu_index=i)
+    machine.start()
+    return sim, machine, vm, kernel
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=500),
+       st.sampled_from(['vanilla', 'irs']),
+       st.sampled_from(['barrier', 'mutex', 'compute']))
+def test_task_cpu_equals_vcpu_run_time(seed, strategy, kind):
+    """Sum of task charges == sum of vCPU run time, within the bounded
+    kernel overheads (SA handlers, idle transitions)."""
+    sim, machine, vm, kernel = build(seed, strategy, kind)
+    sim.run_until(2 * SEC)
+    task_cpu = sum(t.cpu_ns for t in kernel.tasks)
+    vcpu_run = vm.total_runstate(sim.now)[0]
+    overhead = vcpu_run - task_cpu
+    assert overhead >= 0, 'tasks charged more than their vCPUs ran'
+    # SA handlers cost 20-26us each; allow a generous envelope for
+    # them plus dispatch-instant slivers.
+    sa_count = sim.trace.counters.get('irs.sa_sent', 0)
+    assert overhead <= sa_count * 30 * US + 1 * MS
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=500),
+       st.sampled_from(['vanilla', 'irs']))
+def test_runstates_tile_wall_clock(seed, strategy):
+    """run + steal + blocked == elapsed, exactly, for every vCPU."""
+    sim, machine, vm, kernel = build(seed, strategy, 'barrier')
+    sim.run_until(1 * SEC)
+    for machine_vm in machine.vms:
+        for vcpu in machine_vm.vcpus:
+            run, steal, blocked = vcpu.snapshot_accounting(sim.now)
+            assert run + steal + blocked == sim.now
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=500))
+def test_pcpu_busy_equals_vcpu_run(seed):
+    """Machine-level: total pCPU busy time == total vCPU run time."""
+    sim, machine, vm, kernel = build(seed, 'vanilla', 'mutex')
+    sim.run_until(1 * SEC)
+    pcpu_busy = sum(p.snapshot_busy(sim.now) for p in machine.pcpus)
+    vcpu_run = sum(v.snapshot_accounting(sim.now)[0]
+                   for m in machine.vms for v in m.vcpus)
+    assert pcpu_busy == vcpu_run

@@ -1,0 +1,151 @@
+"""Integration tests asserting the paper's headline behaviours.
+
+Each test pins down a *shape* claim from the evaluation — who wins,
+roughly by how much, and where the effect disappears — on reduced-scale
+workloads so the suite stays fast.
+"""
+
+import pytest
+
+from repro.experiments import (
+    InterferenceSpec,
+    NO_INTERFERENCE,
+    run_parallel,
+    run_server,
+)
+
+SCALE = 0.25
+
+
+def improvement(app, strategy, width=1, interferer='hogs', **kw):
+    base = run_parallel(app, 'vanilla',
+                        InterferenceSpec(interferer, width), scale=SCALE,
+                        **kw)
+    strat = run_parallel(app, strategy,
+                         InterferenceSpec(interferer, width), scale=SCALE,
+                         **kw)
+    return (base.makespan_ns / strat.makespan_ns - 1.0) * 100.0
+
+
+class TestMotivation:
+    """Figure 1(a) / Figure 2 claims."""
+
+    def test_blocking_app_suffers_under_interference(self):
+        alone = run_parallel('fluidanimate', 'vanilla', NO_INTERFERENCE,
+                             scale=SCALE)
+        inter = run_parallel('fluidanimate', 'vanilla',
+                             InterferenceSpec('hogs', 1), scale=SCALE)
+        assert inter.makespan_ns > 1.5 * alone.makespan_ns
+
+    def test_work_stealing_app_is_resilient(self):
+        alone = run_parallel('raytrace', 'vanilla', NO_INTERFERENCE,
+                             scale=SCALE)
+        inter = run_parallel('raytrace', 'vanilla',
+                             InterferenceSpec('hogs', 1), scale=SCALE)
+        assert inter.makespan_ns < 1.35 * alone.makespan_ns
+
+    def test_blocking_app_underuses_fair_share(self):
+        result = run_parallel('streamcluster', 'vanilla',
+                              InterferenceSpec('hogs', 1), scale=SCALE)
+        assert result.utilization < 0.85
+
+    def test_work_stealing_app_uses_fair_share(self):
+        result = run_parallel('raytrace', 'vanilla',
+                              InterferenceSpec('hogs', 1), scale=SCALE)
+        assert result.utilization > 0.9
+
+    def test_irs_restores_utilization(self):
+        result = run_parallel('streamcluster', 'irs',
+                              InterferenceSpec('hogs', 1), scale=SCALE)
+        assert result.utilization > 0.9
+
+
+class TestFigure5And6:
+    """Strategy-comparison claims."""
+
+    def test_irs_helps_blocking_workload(self):
+        assert improvement('streamcluster', 'irs') > 20
+
+    def test_irs_helps_spinning_workload(self):
+        assert improvement('MG', 'irs') > 15
+
+    def test_irs_beats_ple_and_relaxed_co_blocking(self):
+        irs = improvement('streamcluster', 'irs')
+        ple = improvement('streamcluster', 'ple')
+        rco = improvement('streamcluster', 'relaxed_co')
+        assert irs > ple
+        assert irs > rco
+
+    def test_irs_marginal_for_pipeline_apps(self):
+        """dedup/ferret have many threads per vCPU; Linux already
+        balances them (Section 5.2)."""
+        assert abs(improvement('dedup', 'irs')) < 15
+
+    def test_irs_marginal_for_work_stealing(self):
+        assert abs(improvement('raytrace', 'irs')) < 10
+
+    def test_gain_shrinks_with_interference_width(self):
+        one = improvement('streamcluster', 'irs', width=1)
+        four = improvement('streamcluster', 'irs', width=4)
+        assert one > four
+
+    def test_real_interferers_also_helped(self):
+        gain = improvement('blackscholes', 'irs', interferer='streamcluster')
+        assert gain > 10
+
+
+class TestFigure8:
+    def test_specjbb_latency_improves(self):
+        base = run_server('specjbb', 'vanilla', n_hogs=2, measure_ns=10**9)
+        irs = run_server('specjbb', 'irs', n_hogs=2, measure_ns=10**9)
+        assert irs.latency_summary['mean'] < base.latency_summary['mean']
+
+    def test_specjbb_throughput_not_hurt(self):
+        base = run_server('specjbb', 'vanilla', n_hogs=2, measure_ns=10**9)
+        irs = run_server('specjbb', 'irs', n_hogs=2, measure_ns=10**9)
+        assert irs.throughput > base.throughput * 0.97
+
+
+class TestFigure11:
+    def test_gain_grows_with_contention_depth(self):
+        """More VMs stacked on the interfered pCPU -> bigger IRS win
+        (Section 5.5: 'more useful in a highly consolidated
+        scenario')."""
+        shallow = improvement('blackscholes', 'irs', width=1)
+        deep_base = run_parallel('blackscholes', 'vanilla',
+                                 InterferenceSpec('hogs', 1, n_vms=3),
+                                 scale=SCALE)
+        deep_irs = run_parallel('blackscholes', 'irs',
+                                InterferenceSpec('hogs', 1, n_vms=3),
+                                scale=SCALE)
+        deep = (deep_base.makespan_ns / deep_irs.makespan_ns - 1) * 100
+        assert deep > 0
+        assert deep > shallow * 0.8   # at least comparable, usually more
+
+
+class TestFairness:
+    def test_irs_respects_fair_share(self):
+        result = run_parallel('UA', 'irs', InterferenceSpec('hogs', 4),
+                              scale=SCALE)
+        assert result.utilization <= 1.1
+
+    def test_background_not_starved_by_irs(self):
+        base = run_parallel('streamcluster', 'vanilla',
+                            InterferenceSpec('fluidanimate', 4),
+                            scale=SCALE)
+        irs = run_parallel('streamcluster', 'irs',
+                           InterferenceSpec('fluidanimate', 4),
+                           scale=SCALE)
+        # Background progress under IRS within ~25% of vanilla.
+        assert irs.bg_rates[0] > base.bg_rates[0] * 0.75
+
+
+class TestSaOverheadProfile:
+    def test_sa_delay_in_band(self):
+        result = run_parallel('streamcluster', 'irs',
+                              InterferenceSpec('hogs', 2), scale=SCALE)
+        sender = result.scenario.machine.sa_sender
+        assert sender.delay_samples_ns
+        mean = sum(sender.delay_samples_ns) / len(sender.delay_samples_ns)
+        assert 20_000 <= mean <= 26_000       # 20-26 us, Section 3.1
+        assert sender.timed_out == 0

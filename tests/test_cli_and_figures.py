@@ -1,0 +1,81 @@
+"""Tests for the CLI entry point and smoke tests of figure drivers."""
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    fig1a,
+    fig5,
+    fairness_check,
+    sa_overhead,
+)
+
+
+class TestCli:
+    def test_list_prints_all_figures(self, capsys):
+        assert main(['list']) == 0
+        out = capsys.readouterr().out
+        for name in ALL_FIGURES:
+            assert name in out
+
+    def test_run_single_figure(self, capsys):
+        assert main(['fig1a']) == 0
+        out = capsys.readouterr().out
+        assert 'Figure 1(a)' in out
+        assert 'raytrace' in out
+
+    def test_unknown_figure_errors(self):
+        with pytest.raises(SystemExit):
+            main(['figZZ'])
+
+    def test_output_to_file(self, tmp_path, capsys):
+        target = tmp_path / 'out.txt'
+        assert main(['sa_overhead', '--out', str(target)]) == 0
+        content = target.read_text()
+        assert 'SA processing delay' in content
+
+
+class TestFigureDrivers:
+    """Smoke tests on small figure slices; the benchmarks exercise the
+    full grids."""
+
+    def test_fig1a_notes_structure(self):
+        result = fig1a(quick=True)
+        assert set(result.notes) == {'fluidanimate', 'UA', 'raytrace'}
+        assert all(v > 1.0 for v in result.notes.values())
+
+    def test_fig5_subset(self):
+        result = fig5(quick=True, apps=['streamcluster'],
+                      interferers=['hogs'])
+        assert len(result.rows) == 3           # 1/2/4-inter
+        key = ('hogs', 'streamcluster', 1, 'irs')
+        assert result.notes[key] > 10
+
+    def test_sa_overhead_notes(self):
+        result = sa_overhead(quick=True)
+        assert 20 <= result.notes['mean_us'] <= 26
+
+    def test_fairness_check_notes(self):
+        result = fairness_check(quick=True, apps=('streamcluster',))
+        assert ('streamcluster', 'vanilla') in result.notes
+        assert ('streamcluster', 'irs') in result.notes
+
+    def test_table_renders_for_every_driver_row(self):
+        result = fig1a(quick=True)
+        table = result.table()
+        assert table.count('\n') >= len(result.rows) + 2
+
+
+class TestCliSpecs:
+    def test_cli_runs_spec_file(self, tmp_path, capsys):
+        import json
+        spec = {'app': 'x264', 'strategy': 'irs',
+                'interference': {'width': 1},
+                'workload': {'scale': 0.1}, 'name': 'demo'}
+        path = tmp_path / 'spec.json'
+        path.write_text(json.dumps(spec))
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert 'demo' in out
+        assert 'Spec results' in out

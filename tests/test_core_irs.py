@@ -1,0 +1,267 @@
+"""Tests for the IRS components: sender, receiver, context switcher,
+migrator, and the end-to-end scheduler-activation flow."""
+
+import pytest
+
+from repro.core import IRSConfig, install_irs
+from repro.guestos.task import TASK_MIGRATING
+from repro.simkernel import Simulator
+from repro.simkernel.units import MS, SEC, US
+from repro.workloads import Acquire, Barrier, BarrierWait, Compute, Mutex, Release
+
+from conftest import build_machine, build_vm
+
+
+def hog():
+    while True:
+        yield Compute(10 * MS)
+
+
+def irs_scenario(sim, n_pcpus=2, fg_vcpus=2, hog_pcpu=0, config=None):
+    """fg VM (IRS) with vCPUs pinned 1:1, one hog VM sharing pcpu 0."""
+    machine = build_machine(sim, n_pcpus)
+    fg_vm, fg_kernel = build_vm(sim, machine, 'fg', n_vcpus=fg_vcpus,
+                                pinning=list(range(fg_vcpus)))
+    __, hog_kernel = build_vm(sim, machine, 'hog', pinning=[hog_pcpu])
+    sender = install_irs(machine, [fg_kernel], config)
+    hog_kernel.spawn('hog', hog())
+    machine.start()
+    return machine, fg_vm, fg_kernel, sender
+
+
+class TestSaSender:
+    def test_sa_sent_on_involuntary_preemption(self, sim):
+        machine, vm, kernel, sender = irs_scenario(sim)
+        kernel.spawn('w', hog(), gcpu_index=0)
+        sim.run_until(500 * MS)
+        assert sender.sent > 0
+        assert sim.trace.counters['irs.sa_sent'] == sender.sent
+
+    def test_no_sa_for_vanilla_guest(self, sim):
+        machine = build_machine(sim, 1)
+        __, k1 = build_vm(sim, machine, 'a', pinning=[0])
+        __, k2 = build_vm(sim, machine, 'b', pinning=[0])
+        sender = install_irs(machine, [k1])      # only VM a is capable
+        k1.spawn('w1', hog())
+        k2.spawn('w2', hog())
+        machine.start()
+        sim.run_until(500 * MS)
+        # Both VMs are preempted constantly, but only VM a receives SA.
+        assert sender.sent > 0
+        assert all(v.sa_pending is False for v in machine.vms[1].vcpus)
+
+    def test_no_duplicate_sa_while_pending(self, sim):
+        config = IRSConfig(sa_handler_min_ns=20 * US,
+                           sa_handler_max_ns=26 * US)
+        machine, vm, kernel, sender = irs_scenario(sim, config=config)
+        kernel.spawn('w', hog(), gcpu_index=0)
+        sim.run_until(500 * MS)
+        # Every offer was either acknowledged or timed out; sa_pending
+        # never sticks.
+        assert not vm.vcpus[0].sa_pending
+
+    def test_delay_samples_within_configured_band(self, sim):
+        machine, vm, kernel, sender = irs_scenario(sim)
+        kernel.spawn('w', hog(), gcpu_index=0)
+        sim.run_until(1 * SEC)
+        assert sender.delay_samples_ns
+        for sample in sender.delay_samples_ns:
+            assert 20 * US <= sample <= 26 * US
+
+    def test_voluntary_block_sends_no_sa(self, sim):
+        """A vCPU that blocks on its own (idle) is not activated."""
+        machine = build_machine(sim, 1)
+        __, kernel = build_vm(sim, machine, 'fg', pinning=[0])
+        sender = install_irs(machine, [kernel])
+
+        def napper():
+            from repro.workloads import Sleep
+            for __ in range(10):
+                yield Compute(1 * MS)
+                yield Sleep(5 * MS)
+        kernel.spawn('n', napper())
+        machine.start()
+        sim.run_until(500 * MS)
+        assert sender.sent == 0
+
+
+class TestHardLimit:
+    def test_rogue_guest_forced_through(self, sim):
+        """If the guest never acknowledges, the hypervisor completes the
+        preemption at the hard limit (Section 4.1)."""
+        machine, vm, kernel, sender = irs_scenario(
+            sim, config=IRSConfig(sa_hard_limit_ns=100 * US))
+        kernel.spawn('w', hog(), gcpu_index=0)
+        # Sabotage the receiver: swallow upcalls without acking.
+        kernel.sa_receiver.on_virq = lambda gcpu, virq: None
+        sim.run_until(500 * MS)
+        assert sender.timed_out > 0
+        # The machine keeps functioning: the hog still gets its share.
+        hog_run = machine.vms[1].total_runstate(sim.now)[0]
+        assert hog_run > 150 * MS
+
+
+class TestContextSwitchAndMigration:
+    def test_descheduled_task_is_tagged_and_migrated(self, sim):
+        machine, vm, kernel, sender = irs_scenario(sim)
+        worker = kernel.spawn('w', hog(), gcpu_index=0)
+        sim.run_until(500 * MS)
+        assert worker.irs_tag
+        assert worker.migrations > 0
+
+    def test_migrator_prefers_idle_vcpu(self, sim):
+        """With an idle sibling, the migrated task lands there (and the
+        idle vCPU wake-boosts): Algorithm 2's fast path."""
+        machine, vm, kernel, sender = irs_scenario(sim, n_pcpus=2,
+                                                   fg_vcpus=2)
+        worker = kernel.spawn('w', hog(), gcpu_index=0)
+        # gcpu1 idles: nothing spawned there.
+        sim.run_until(200 * MS)
+        assert worker.gcpu is kernel.gcpus[1]
+        assert sim.trace.counters['irs.migrations'] > 0
+
+    def test_migrator_skips_preempted_vcpus(self, sim):
+        """With every sibling preempted, the task returns home rather
+        than moving to another frozen vCPU."""
+        machine = build_machine(sim, 2)
+        fg_vm, fg_kernel = build_vm(sim, machine, 'fg', n_vcpus=2,
+                                    pinning=[0, 1])
+        __, h0 = build_vm(sim, machine, 'h0', pinning=[0])
+        __, h1 = build_vm(sim, machine, 'h1', pinning=[1])
+        install_irs(machine, [fg_kernel])
+        h0.spawn('hog0', hog())
+        h1.spawn('hog1', hog())
+        w0 = fg_kernel.spawn('w0', hog(), gcpu_index=0)
+        w1 = fg_kernel.spawn('w1', hog(), gcpu_index=1)
+        machine.start()
+        sim.run_until(1 * SEC)
+        # Both fg workers keep making progress despite universal
+        # interference (roughly the fair share each).
+        assert w0.cpu_ns > 300 * MS
+        assert w1.cpu_ns > 300 * MS
+
+    def test_sched_op_block_answer_when_runqueue_empties(self, sim):
+        """With a single task, the context switcher answers
+        SCHEDOP_block: the vCPU parks blocked, eligible for wake
+        boosting later."""
+        machine, vm, kernel, sender = irs_scenario(sim, n_pcpus=2,
+                                                   fg_vcpus=2)
+        kernel.spawn('w', hog(), gcpu_index=0)
+        sim.run_until(500 * MS)
+        receiver = kernel.sa_receiver
+        assert receiver.handled > 0
+        assert receiver.context_switcher.switches > 0
+
+
+class TestPingPongRule:
+    def _blocking_pair(self, sim, wakeup_preempt):
+        config = IRSConfig(wakeup_preempt_tagged=wakeup_preempt)
+        machine, vm, kernel, sender = irs_scenario(sim, n_pcpus=2,
+                                                   fg_vcpus=2,
+                                                   config=config)
+        m = Mutex()
+        done = []
+
+        def locker(n):
+            for __ in range(n):
+                yield Compute(2 * MS)
+                yield Acquire(m)
+                yield Compute(200 * US)
+                yield Release(m)
+        for i in range(2):
+            kernel.spawn('w%d' % i, locker(150), gcpu_index=i,
+                         on_exit=lambda t, now: done.append(now))
+        sim.run_until(10 * SEC)
+        return done, [t for t in kernel.tasks]
+
+    def test_wake_rule_reduces_migrations(self, sim):
+        __, tasks_with = self._blocking_pair(sim, wakeup_preempt=True)
+        sim2 = Simulator(seed=42)
+        __, tasks_without = self._blocking_pair(sim2, wakeup_preempt=False)
+        with_migrations = sum(t.migrations for t in tasks_with)
+        without_migrations = sum(t.migrations for t in tasks_without)
+        assert with_migrations <= without_migrations
+
+    def test_workload_completes_under_both_rules(self, sim):
+        done, __ = self._blocking_pair(sim, wakeup_preempt=True)
+        assert len(done) == 2
+
+
+class TestEndToEndBenefit:
+    def test_irs_improves_blocking_barrier_workload(self):
+        def run(irs):
+            sim = Simulator(seed=11)
+            machine = build_machine(sim, 4)
+            fg_vm, kernel = build_vm(sim, machine, 'fg', n_vcpus=4,
+                                     pinning=[0, 1, 2, 3])
+            __, hk = build_vm(sim, machine, 'hog', pinning=[0])
+            if irs:
+                install_irs(machine, [kernel])
+            hk.spawn('hog', hog())
+            bar = Barrier(4, mode='block')
+            done = []
+
+            def worker(n):
+                for __ in range(n):
+                    yield Compute(30 * MS)
+                    yield BarrierWait(bar)
+            for i in range(4):
+                kernel.spawn('w%d' % i, worker(20), gcpu_index=i,
+                             on_exit=lambda t, now: done.append(now))
+            machine.start()
+            sim.run_until(60 * SEC)
+            assert len(done) == 4
+            return max(done)
+        vanilla = run(irs=False)
+        irs = run(irs=True)
+        assert irs < vanilla * 0.85   # at least ~18% faster
+
+    def test_irs_improves_spinning_barrier_workload(self):
+        def run(irs):
+            sim = Simulator(seed=12)
+            machine = build_machine(sim, 4)
+            fg_vm, kernel = build_vm(sim, machine, 'fg', n_vcpus=4,
+                                     pinning=[0, 1, 2, 3])
+            __, hk = build_vm(sim, machine, 'hog', pinning=[0])
+            if irs:
+                install_irs(machine, [kernel])
+            hk.spawn('hog', hog())
+            bar = Barrier(4, mode='spin')
+            region = Barrier(4, mode='block')
+            done = []
+
+            def worker(n):
+                for i in range(n):
+                    yield Compute(30 * MS)
+                    yield BarrierWait(region if (i + 1) % 10 == 0 else bar)
+            for i in range(4):
+                kernel.spawn('w%d' % i, worker(20), gcpu_index=i,
+                             on_exit=lambda t, now: done.append(now))
+            machine.start()
+            sim.run_until(60 * SEC)
+            assert len(done) == 4
+            return max(done)
+        vanilla = run(irs=False)
+        irs = run(irs=True)
+        assert irs < vanilla * 0.9
+
+    def test_fairness_preserved(self, sim):
+        """Section 5.4: IRS never pushes the fg VM past its fair share."""
+        machine, vm, kernel, sender = irs_scenario(sim)
+        kernel.spawn('w', hog(), gcpu_index=0)
+        sim.run_until(2 * SEC)
+        fg_run = vm.total_runstate(sim.now)[0]
+        share = machine.fair_share_ns(vm, 2 * SEC)
+        assert fg_run <= share * 1.05
+
+
+class TestConfigValidation:
+    def test_bad_handler_band_rejected(self):
+        with pytest.raises(ValueError):
+            IRSConfig(sa_handler_min_ns=30 * US, sa_handler_max_ns=20 * US)
+
+    def test_install_requires_kernels(self, sim):
+        from repro.experiments.strategies import apply_strategy
+        machine = build_machine(sim, 1)
+        with pytest.raises(ValueError):
+            apply_strategy(machine, 'irs', irs_kernels=())

@@ -1,0 +1,100 @@
+"""Tests for guest CPU hotplug and its interaction with balancing and
+the IRS migrator (Algorithm 2 iterates *online* vCPUs)."""
+
+import pytest
+
+from repro.core import install_irs
+from repro.simkernel.units import MS, SEC
+from repro.workloads import Compute, cpu_hog
+
+from conftest import build_machine, build_vm, single_vm_machine
+
+
+class TestHotplugBasics:
+    def test_offline_evacuates_tasks(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=2, n_vcpus=2)
+        a = kernel.spawn('a', cpu_hog(10 * MS), gcpu_index=0)
+        b = kernel.spawn('b', cpu_hog(10 * MS), gcpu_index=0)
+        sim.run_until(20 * MS)
+        kernel.offline_gcpu(0)
+        sim.run_until(sim.now + 50 * MS)
+        for task in (a, b):
+            assert task.gcpu is kernel.gcpus[1]
+        assert kernel.gcpus[0].current is None
+        assert kernel.gcpus[0].rq.nr_ready == 0
+
+    def test_offline_cpu_takes_no_new_work(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=2, n_vcpus=2)
+        kernel.offline_gcpu(0)
+        task = kernel.spawn('t', cpu_hog(10 * MS), gcpu_index=1)
+        sim.run_until(200 * MS)
+        assert task.gcpu is kernel.gcpus[1]
+        # The offline CPU consumed nothing.
+        run0 = vm.vcpus[0].snapshot_accounting(sim.now)[0]
+        assert run0 < 1 * MS
+
+    def test_cannot_offline_last_cpu(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=2, n_vcpus=2)
+        kernel.offline_gcpu(0)
+        with pytest.raises(RuntimeError):
+            kernel.offline_gcpu(1)
+
+    def test_online_again_reused(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=2, n_vcpus=2)
+        kernel.offline_gcpu(0)
+        a = kernel.spawn('a', cpu_hog(5 * MS), gcpu_index=1)
+        b = kernel.spawn('b', cpu_hog(5 * MS), gcpu_index=1)
+        sim.run_until(50 * MS)
+        kernel.online_gcpu(0)
+        sim.run_until(sim.now + 300 * MS)
+        # NOHZ kicks and pulls repopulate the revived CPU.
+        run0 = vm.vcpus[0].snapshot_accounting(sim.now)[0]
+        assert run0 > 50 * MS
+
+    def test_offline_idempotent(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=2, n_vcpus=2)
+        kernel.offline_gcpu(0)
+        kernel.offline_gcpu(0)
+        kernel.online_gcpu(0)
+        kernel.online_gcpu(0)
+        assert kernel.gcpus[0].online
+
+    def test_online_gcpus_listing(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=4, n_vcpus=4)
+        kernel.offline_gcpu(2)
+        online = kernel.online_gcpus()
+        assert len(online) == 3
+        assert kernel.gcpus[2] not in online
+
+
+class TestHotplugWithIrs:
+    def test_migrator_skips_offline_cpus(self, sim):
+        """With the only idle sibling offline, the migrator must not
+        place work there."""
+        machine = build_machine(sim, 3)
+        vm, kernel = build_vm(sim, machine, 'fg', n_vcpus=3,
+                              pinning=[0, 1, 2])
+        __, hk = build_vm(sim, machine, 'hog', pinning=[0])
+        hk.spawn('hog', cpu_hog(10 * MS))
+        install_irs(machine, [kernel])
+        machine.start()
+        kernel.offline_gcpu(2)           # the tempting idle sibling
+        worker = kernel.spawn('w', cpu_hog(10 * MS), gcpu_index=0)
+        busy = kernel.spawn('busy', cpu_hog(10 * MS), gcpu_index=1)
+        sim.run_until(1 * SEC)
+        assert worker.migrations > 0
+        # All of the worker's CPU time came from online CPUs.
+        run_offline = vm.vcpus[2].snapshot_accounting(sim.now)[0]
+        assert run_offline < 1 * MS
+
+    def test_workload_survives_offline_during_run(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=4, n_vcpus=4)
+        done = []
+        for i in range(4):
+            kernel.spawn('w%d' % i, iter([Compute(100 * MS)]),
+                         gcpu_index=i,
+                         on_exit=lambda t, now: done.append(now))
+        sim.run_until(30 * MS)
+        kernel.offline_gcpu(3)
+        sim.run_until(2 * SEC)
+        assert len(done) == 4

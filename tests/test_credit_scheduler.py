@@ -1,0 +1,154 @@
+"""Behavioural tests for the credit scheduler."""
+
+import pytest
+
+from repro.hypervisor import Machine, VM
+from repro.simkernel import Simulator
+from repro.simkernel.units import MS, SEC
+from repro.workloads import Compute
+
+from conftest import build_vm
+
+
+def hog():
+    while True:
+        yield Compute(10 * MS)
+
+
+class TestFairSharing:
+    def test_two_equal_vms_split_a_pcpu(self):
+        sim = Simulator(seed=1)
+        machine = Machine(sim, n_pcpus=1)
+        __, k1 = build_vm(sim, machine, 'a', pinning=[0])
+        __, k2 = build_vm(sim, machine, 'b', pinning=[0])
+        k1.spawn('h1', hog())
+        k2.spawn('h2', hog())
+        machine.start()
+        sim.run_until(2 * SEC)
+        run_a = machine.vms[0].total_runstate(sim.now)[0]
+        run_b = machine.vms[1].total_runstate(sim.now)[0]
+        assert abs(run_a - run_b) < 0.1 * 2 * SEC
+        assert run_a + run_b > 1.9 * SEC  # work conserving
+
+    def test_three_vms_each_get_a_third(self):
+        sim = Simulator(seed=2)
+        machine = Machine(sim, n_pcpus=1)
+        kernels = []
+        for name in ('a', 'b', 'c'):
+            __, k = build_vm(sim, machine, name, pinning=[0])
+            kernels.append(k)
+        for i, k in enumerate(kernels):
+            k.spawn('h%d' % i, hog())
+        machine.start()
+        sim.run_until(3 * SEC)
+        for vm in machine.vms:
+            run = vm.total_runstate(sim.now)[0]
+            assert 0.75 * SEC < run < 1.35 * SEC
+
+    def test_higher_weight_gets_more_cpu(self):
+        sim = Simulator(seed=3)
+        machine = Machine(sim, n_pcpus=1)
+        heavy = VM('heavy', 1, sim, weight=512)
+        light = VM('light', 1, sim, weight=256)
+        machine.add_vm(heavy, pinning=[0])
+        machine.add_vm(light, pinning=[0])
+        from repro.guestos import GuestKernel
+        kh = GuestKernel(sim, heavy, machine)
+        kl = GuestKernel(sim, light, machine)
+        kh.spawn('h', hog())
+        kl.spawn('l', hog())
+        machine.start()
+        sim.run_until(3 * SEC)
+        run_heavy = heavy.total_runstate(sim.now)[0]
+        run_light = light.total_runstate(sim.now)[0]
+        assert run_heavy > run_light * 1.3
+
+
+class TestSliceBehaviour:
+    def test_alternation_at_slice_granularity(self):
+        """Two competing vCPUs swap on ~30 ms boundaries — the delay
+        that causes LHP (Figure 1b's staircase)."""
+        sim = Simulator(seed=4)
+        machine = Machine(sim, n_pcpus=1)
+        __, k1 = build_vm(sim, machine, 'a', pinning=[0])
+        __, k2 = build_vm(sim, machine, 'b', pinning=[0])
+        k1.spawn('h1', hog())
+        k2.spawn('h2', hog())
+        machine.start()
+        sim.run_until(1 * SEC)
+        preemptions = sim.trace.counters['hv.preemptions']
+        # ~1000ms / 30ms slices = ~33 switches; allow slack.
+        assert 20 <= preemptions <= 50
+
+    def test_single_vcpu_runs_unpreempted(self):
+        sim = Simulator(seed=5)
+        machine = Machine(sim, n_pcpus=1)
+        __, k = build_vm(sim, machine, 'solo', pinning=[0])
+        k.spawn('h', hog())
+        machine.start()
+        sim.run_until(1 * SEC)
+        assert sim.trace.counters['hv.preemptions'] == 0
+        run = machine.vms[0].total_runstate(sim.now)[0]
+        assert run == 1 * SEC
+
+
+class TestWakeBoosting:
+    def test_waking_vcpu_preempts_hog(self):
+        """An idle-blocked vCPU that wakes gets BOOST priority and
+        preempts a CPU-bound competitor almost immediately."""
+        sim = Simulator(seed=6)
+        machine = Machine(sim, n_pcpus=1)
+        __, kb = build_vm(sim, machine, 'hog', pinning=[0])
+        __, ks = build_vm(sim, machine, 'sleeper', pinning=[0])
+        kb.spawn('h', hog())
+
+        def sleepy():
+            from repro.workloads import Sleep
+            while True:
+                yield Sleep(50 * MS)
+                yield Compute(1 * MS)
+        ks.spawn('s', sleepy())
+        machine.start()
+        sim.run_until(1 * SEC)
+        run_sleepy = machine.vms[1].total_runstate(sim.now)[0]
+        # The sleeper needs ~1ms per 51ms cycle = ~19ms total. Without
+        # boosting it would be starved to slice boundaries.
+        assert run_sleepy > 15 * MS
+        steal_sleepy = machine.vms[1].total_runstate(sim.now)[1]
+        assert steal_sleepy < 50 * MS
+
+
+class TestBlockYield:
+    def test_blocked_vm_consumes_nothing(self):
+        sim = Simulator(seed=7)
+        machine = Machine(sim, n_pcpus=1)
+        __, k = build_vm(sim, machine, 'idle', pinning=[0])
+        machine.start()
+        sim.run_until(500 * MS)
+        run, __, blocked = machine.vms[0].total_runstate(sim.now)
+        assert run == 0
+        assert blocked == 500 * MS
+
+    def test_work_conserving_when_competitor_blocks(self):
+        sim = Simulator(seed=8)
+        machine = Machine(sim, n_pcpus=1)
+        __, kh = build_vm(sim, machine, 'hog', pinning=[0])
+        __, ki = build_vm(sim, machine, 'idle', pinning=[0])
+        kh.spawn('h', hog())
+        machine.start()
+        sim.run_until(1 * SEC)
+        run_hog = machine.vms[0].total_runstate(sim.now)[0]
+        assert run_hog == 1 * SEC
+
+
+class TestDeferredPreemptionGuard:
+    def test_complete_deferred_without_deferral_raises(self):
+        sim = Simulator(seed=9)
+        machine = Machine(sim, n_pcpus=1)
+        vm, k = build_vm(sim, machine, 'a', pinning=[0])
+        k.spawn('h', hog())
+        machine.start()
+        sim.run_until(10 * MS)
+        with pytest.raises(RuntimeError):
+            machine.scheduler.complete_deferred_preemption(
+                vm.vcpus[0], block=False)

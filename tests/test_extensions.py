@@ -1,0 +1,152 @@
+"""Tests for the extension modules: pull-based IRS (Section 6 future
+work), delay-preemption (Uhlig et al.), and migrator policy ablations."""
+
+import pytest
+
+from repro.core import IRSConfig, install_irs, install_pull_irs
+from repro.hypervisor.delayed_preempt import install_delayed_preemption
+from repro.simkernel import Simulator
+from repro.simkernel.units import MS, SEC, US
+from repro.workloads import Acquire, Compute, Mutex, Release, cpu_hog
+
+from conftest import build_machine, build_vm
+
+
+def contended_pair(sim, config=None):
+    """2 pCPUs; fg VM with 2 vCPUs; a hog sharing pCPU 0."""
+    machine = build_machine(sim, 2)
+    fg_vm, fg_kernel = build_vm(sim, machine, 'fg', n_vcpus=2,
+                                pinning=[0, 1])
+    __, hog_kernel = build_vm(sim, machine, 'hog', pinning=[0])
+    hog_kernel.spawn('hog', cpu_hog(10 * MS))
+    machine.start()
+    return machine, fg_vm, fg_kernel
+
+
+class TestPullIrs:
+    def test_idle_vcpu_steals_frozen_task(self, sim):
+        machine, vm, kernel = contended_pair(sim)
+        migrators = install_pull_irs(machine, [kernel])
+        worker = kernel.spawn('w', cpu_hog(10 * MS), gcpu_index=0)
+        # gcpu1 idles; when vCPU0 gets preempted, gcpu1's idle path
+        # should pull the frozen worker over.
+        sim.run_until(500 * MS)
+        assert migrators[0].pulls > 0
+        assert worker.cpu_ns > 300 * MS   # near-full speed despite hog
+
+    def test_no_pull_when_siblings_running(self, sim):
+        machine, vm, kernel = contended_pair(sim)
+        migrators = install_pull_irs(machine, [kernel])
+        kernel.spawn('w0', cpu_hog(10 * MS), gcpu_index=0)
+        kernel.spawn('w1', cpu_hog(10 * MS), gcpu_index=1)
+        sim.run_until(300 * MS)
+        # gcpu1 never idles, so the pull path never triggers.
+        assert migrators[0].pulls == 0
+
+    def test_pulled_task_tagged(self, sim):
+        machine, vm, kernel = contended_pair(sim)
+        install_pull_irs(machine, [kernel])
+        worker = kernel.spawn('w', cpu_hog(10 * MS), gcpu_index=0)
+        sim.run_until(500 * MS)
+        assert worker.irs_tag
+
+    def test_tagging_can_be_disabled(self, sim):
+        machine, vm, kernel = contended_pair(sim)
+        install_pull_irs(machine, [kernel], tag_tasks=False)
+        worker = kernel.spawn('w', cpu_hog(10 * MS), gcpu_index=0)
+        sim.run_until(500 * MS)
+        assert worker.migrations > 0
+        assert not worker.irs_tag
+
+    def test_composes_with_push_irs(self, sim):
+        machine, vm, kernel = contended_pair(sim)
+        install_irs(machine, [kernel])
+        install_pull_irs(machine, [kernel])
+        worker = kernel.spawn('w', cpu_hog(10 * MS), gcpu_index=0)
+        sim.run_until(500 * MS)
+        assert worker.cpu_ns > 300 * MS
+
+
+class TestDelayedPreemption:
+    def _locked_scenario(self, sim, hold_ns, window_ns=100 * US,
+                         max_extension_ns=1 * MS):
+        machine, vm, kernel = contended_pair(sim)
+        manager = install_delayed_preemption(
+            machine, [kernel], window_ns=window_ns,
+            max_extension_ns=max_extension_ns)
+        lock = Mutex()
+
+        def locker():
+            while True:
+                yield Acquire(lock)
+                yield Compute(hold_ns)
+                yield Release(lock)
+                yield Compute(hold_ns // 4)
+        kernel.spawn('locker', locker(), gcpu_index=0)
+        machine.start()
+        return machine, manager
+
+    def test_deferrals_fire_for_long_holders(self, sim):
+        machine, manager = self._locked_scenario(sim, hold_ns=20 * MS)
+        sim.run_until(2 * SEC)
+        assert manager.deferrals > 0
+
+    def test_budget_bounds_extension(self, sim):
+        machine, manager = self._locked_scenario(
+            sim, hold_ns=50 * MS, max_extension_ns=300 * US)
+        sim.run_until(2 * SEC)
+        # Long sections exhaust the budget; the preemption proceeds.
+        assert manager.budget_exhaustions > 0
+        # Fairness is preserved within the budget.
+        hog_run = machine.vms[1].total_runstate(sim.now)[0]
+        assert hog_run > 700 * MS
+
+    def test_release_triggers_parked_preemption(self, sim):
+        machine, manager = self._locked_scenario(
+            sim, hold_ns=5 * MS, max_extension_ns=30 * MS,
+            window_ns=10 * MS)
+        sim.run_until(2 * SEC)
+        assert manager.deferrals > 0
+        # The machine stays healthy (both VMs progressed).
+        for vm in machine.vms:
+            assert vm.total_runstate(sim.now)[0] > 300 * MS
+
+    def test_no_locks_no_deferrals(self, sim):
+        machine, vm, kernel = contended_pair(sim)
+        manager = install_delayed_preemption(machine, [kernel])
+        kernel.spawn('plain', cpu_hog(10 * MS), gcpu_index=0)
+        sim.run_until(500 * MS)
+        assert manager.deferrals == 0
+
+    def test_strategy_name_resolves(self):
+        from repro.experiments import run_parallel, InterferenceSpec
+        result = run_parallel('x264', 'delay_preempt',
+                              InterferenceSpec('hogs', 1), scale=0.1)
+        assert result.completed
+
+
+class TestMigratorPolicies:
+    @pytest.mark.parametrize('policy', IRSConfig.MIGRATOR_POLICIES)
+    def test_every_policy_functions(self, policy):
+        from repro.experiments import run_parallel, InterferenceSpec
+        config = IRSConfig(migrator_policy=policy)
+        result = run_parallel('streamcluster', 'irs',
+                              InterferenceSpec('hogs', 1), scale=0.15,
+                              irs_config=config)
+        assert result.completed
+        counters = result.scenario.sim.trace.counters
+        assert counters['irs.migrations'] > 0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            IRSConfig(migrator_policy='teleport')
+
+    def test_idle_first_short_circuits(self, sim):
+        """With an idle sibling, idle_first picks it regardless of the
+        load ordering of running vCPUs."""
+        machine, vm, kernel = contended_pair(sim)
+        install_irs(machine, [kernel])
+        worker = kernel.spawn('w', cpu_hog(10 * MS), gcpu_index=0)
+        sim.run_until(300 * MS)
+        # The worker ends up on the idle gcpu1 after the first SA.
+        assert worker.gcpu is kernel.gcpus[1]

@@ -1,0 +1,104 @@
+"""Tests for the vanilla migration stopper (Figure 1b machinery)."""
+
+from repro.guestos.migration import MigrationStopper
+from repro.simkernel import Simulator
+from repro.simkernel.units import MS, SEC
+from repro.workloads import Compute
+
+from conftest import build_machine, build_vm
+
+
+def hog():
+    while True:
+        yield Compute(10 * MS)
+
+
+class TestStopperFastPaths:
+    def test_ready_task_moves_without_stopper(self, sim):
+        machine, vm, kernel = self._dual_vcpu(sim)
+        # Keep gcpu1 busy so balancing does not steal the ready task.
+        kernel.spawn('busy', hog(), gcpu_index=1)
+        kernel.spawn('a', hog(), gcpu_index=0)
+        kernel.spawn('b', hog(), gcpu_index=0)
+        sim.run_until(5 * MS)
+        target = kernel.gcpus[0].rq.peek_min()
+        assert target is not None
+        stopper = MigrationStopper(sim, kernel)
+        request = stopper.request(target, kernel.gcpus[1])
+        sim.run_until(sim.now + 10 * MS)
+        assert request.latency_ns is not None
+        assert request.latency_ns <= 1 * MS
+        assert target.gcpu is kernel.gcpus[1]
+
+    def test_running_task_on_running_vcpu(self, sim):
+        machine, vm, kernel = self._dual_vcpu(sim)
+        task = kernel.spawn('a', hog(), gcpu_index=0)
+        sim.run_until(5 * MS)
+        stopper = MigrationStopper(sim, kernel)
+        request = stopper.request(task, kernel.gcpus[1])
+        sim.run_until(sim.now + 50 * MS)
+        # Stopper wakeup + context switch ≈ 1 ms.
+        assert request.latency_ns is not None
+        assert request.latency_ns <= 2 * MS
+        assert task.gcpu is kernel.gcpus[1]
+
+    def _dual_vcpu(self, sim):
+        machine = build_machine(sim, 2)
+        vm, kernel = build_vm(sim, machine, 'vm', n_vcpus=2,
+                              pinning=[0, 1])
+        machine.start()
+        return machine, vm, kernel
+
+
+class TestStopperPreemptedPath:
+    def test_migration_waits_for_preempted_vcpu(self, sim):
+        """The defining measurement of Figure 1(b): stop work on a
+        preempted vCPU waits for the vCPU's next slice."""
+        machine = build_machine(sim, 2)
+        vm, kernel = build_vm(sim, machine, 'vm', n_vcpus=2,
+                              pinning=[0, 1])
+        __, hk = build_vm(sim, machine, 'hog', pinning=[0])
+        hk.spawn('hog', hog())
+        task = kernel.spawn('t', hog(), gcpu_index=0)
+        machine.start()
+        # Find a moment when the source vCPU is preempted.
+        while not vm.vcpus[0].is_runnable or task.cpu_ns == 0:
+            sim.run_until(sim.now + 1 * MS)
+            if sim.now > 5 * SEC:
+                raise AssertionError('vCPU never preempted')
+        stopper = MigrationStopper(sim, kernel)
+        request = stopper.request(task, kernel.gcpus[1])
+        assert request.latency_ns is None    # not yet complete
+        sim.run_until(sim.now + 1 * SEC)
+        assert request.latency_ns is not None
+        # It had to wait for the hog's remaining slice: >> the 1 ms
+        # fast-path latency.
+        assert request.latency_ns > 2 * MS
+        assert task.gcpu is kernel.gcpus[1]
+
+    def test_completed_requests_recorded(self, sim):
+        machine = build_machine(sim, 2)
+        vm, kernel = build_vm(sim, machine, 'vm', n_vcpus=2,
+                              pinning=[0, 1])
+        task = kernel.spawn('t', hog(), gcpu_index=0)
+        machine.start()
+        sim.run_until(5 * MS)
+        stopper = MigrationStopper(sim, kernel)
+        stopper.request(task, kernel.gcpus[1])
+        sim.run_until(sim.now + 50 * MS)
+        assert len(stopper.completed) == 1
+
+
+class TestProbeStaircase:
+    def test_latency_monotone_in_interference(self):
+        """More interfering VMs, longer migration latency — the
+        Figure 1(b) staircase."""
+        from repro.experiments import run_migration_probe
+        means = []
+        for n_vms in (0, 1, 3):
+            lats = [run_migration_probe(n_vms, seed=s) for s in range(12)]
+            lats = [l for l in lats if l is not None]
+            means.append(sum(lats) / len(lats))
+        assert means[0] < means[1] < means[2]
+        assert means[0] <= 2 * MS            # ~1 ms alone
+        assert means[1] > 10 * MS            # slice-scale once contended

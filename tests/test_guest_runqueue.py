@@ -1,0 +1,155 @@
+"""Unit tests for the CFS runqueue and task primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.guestos.runqueue import RunQueue
+from repro.guestos.task import (
+    NICE_0_WEIGHT,
+    TASK_READY,
+    TASK_SLEEPING,
+    Task,
+)
+from repro.workloads import Compute
+
+
+def make_task(name='t', vruntime=0):
+    task = Task(name, iter(()))
+    task.vruntime = vruntime
+    task.state = TASK_READY
+    return task
+
+
+def make_rq():
+    return RunQueue(gcpu=None)
+
+
+class TestOrdering:
+    def test_pop_min_returns_smallest_vruntime(self):
+        rq = make_rq()
+        a = make_task('a', 300)
+        b = make_task('b', 100)
+        c = make_task('c', 200)
+        for t in (a, b, c):
+            rq.enqueue(t)
+        assert rq.pop_min() is b
+        assert rq.pop_min() is c
+        assert rq.pop_min() is a
+        assert rq.pop_min() is None
+
+    def test_equal_vruntime_ordered_by_tid(self):
+        rq = make_rq()
+        a = make_task('a', 50)
+        b = make_task('b', 50)
+        rq.enqueue(b)
+        rq.enqueue(a)
+        assert rq.pop_min() is a  # lower tid wins
+
+    def test_peek_does_not_remove(self):
+        rq = make_rq()
+        a = make_task('a', 10)
+        rq.enqueue(a)
+        assert rq.peek_min() is a
+        assert len(rq) == 1
+
+    def test_enqueue_requires_ready_state(self):
+        rq = make_rq()
+        task = make_task('t')
+        task.state = TASK_SLEEPING
+        with pytest.raises(RuntimeError):
+            rq.enqueue(task)
+
+    def test_dequeue_specific(self):
+        rq = make_rq()
+        a, b = make_task('a', 1), make_task('b', 2)
+        rq.enqueue(a)
+        rq.enqueue(b)
+        rq.dequeue(a)
+        assert rq.tasks() == [b]
+
+    def test_dequeue_missing_raises(self):
+        rq = RunQueue(gcpu=type('G', (), {'name': 'g'})())
+        with pytest.raises(RuntimeError):
+            rq.dequeue(make_task('ghost'))
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9),
+                    min_size=1, max_size=50))
+    def test_pop_order_sorted_property(self, vruntimes):
+        rq = make_rq()
+        for i, v in enumerate(vruntimes):
+            rq.enqueue(make_task('t%d' % i, v))
+        popped = []
+        while True:
+            task = rq.pop_min()
+            if task is None:
+                break
+            popped.append(task.vruntime)
+        assert popped == sorted(vruntimes)
+
+
+class TestMinVruntime:
+    def test_monotonic(self):
+        rq = make_rq()
+        a = make_task('a', 100)
+        rq.enqueue(a)
+        rq.update_min_vruntime(None)
+        assert rq.min_vruntime == 100
+        rq.dequeue(a)
+        b = make_task('b', 50)
+        rq.enqueue(b)
+        rq.update_min_vruntime(None)
+        assert rq.min_vruntime == 100  # never decreases
+
+    def test_considers_current(self):
+        rq = make_rq()
+        current = make_task('cur', 80)
+        rq.enqueue(make_task('q', 120))
+        rq.update_min_vruntime(current)
+        assert rq.min_vruntime == 80
+
+    def test_min_ready_vruntime(self):
+        rq = make_rq()
+        assert rq.min_ready_vruntime() is None
+        rq.enqueue(make_task('a', 7))
+        assert rq.min_ready_vruntime() == 7
+
+
+class TestTask:
+    def test_charge_advances_vruntime(self):
+        task = make_task('t')
+        task.charge(1000)
+        assert task.cpu_ns == 1000
+        assert task.vruntime == 1000  # weight 1024 == NICE_0
+
+    def test_heavier_task_gains_vruntime_slower(self):
+        heavy = Task('h', iter(()), weight=2 * NICE_0_WEIGHT)
+        heavy.charge(1000)
+        assert heavy.vruntime == 500
+
+    def test_next_action_list_program(self):
+        task = Task('t', iter([Compute(5), Compute(6)]))
+        assert task.next_action().duration_ns == 5
+        assert task.next_action().duration_ns == 6
+        assert task.next_action() is None
+
+    def test_next_action_generator_send(self):
+        received = []
+
+        def gen():
+            value = yield Compute(1)
+            received.append(value)
+            yield Compute(2)
+        task = Task('t', gen())
+        task.next_action()
+        task.next_action('mailbox-item')
+        assert received == ['mailbox-item']
+
+    def test_tids_unique(self):
+        a, b = Task('a', iter(())), Task('b', iter(()))
+        assert a.tid != b.tid
+
+    def test_runnable_like(self):
+        task = make_task('t')
+        assert task.runnable_like
+        task.state = TASK_SLEEPING
+        assert not task.runnable_like

@@ -1,0 +1,49 @@
+"""Edge-case tests for the experiment harness."""
+
+import pytest
+
+from repro.experiments import InterferenceSpec, run_parallel
+from repro.experiments.harness import ParallelRunResult
+from repro.simkernel.units import MS
+
+
+class TestTimeouts:
+    def test_timeout_returns_incomplete_result(self):
+        """A run that cannot finish inside the budget reports TIMEOUT
+        instead of hanging."""
+        result = run_parallel('blackscholes', 'vanilla',
+                              InterferenceSpec('hogs', 4), scale=1.0,
+                              timeout_ns=50 * MS)
+        assert not result.completed
+        assert result.makespan_ns is None
+        assert 'TIMEOUT' in repr(result)
+
+    def test_timeout_still_reports_utilization(self):
+        result = run_parallel('blackscholes', 'vanilla',
+                              InterferenceSpec('hogs', 4), scale=1.0,
+                              timeout_ns=50 * MS)
+        assert result.utilization > 0
+
+
+class TestRunResultShape:
+    def test_result_carries_scenario_and_metrics(self):
+        result = run_parallel('swaptions', 'vanilla', scale=0.05)
+        assert result.completed
+        assert result.metrics.vms['fg'].run_ns > 0
+        assert result.scenario.fg_vm.name == 'fg'
+        assert result.workload.is_done
+
+    def test_repr_shows_makespan(self):
+        result = run_parallel('swaptions', 'vanilla', scale=0.05)
+        assert 'swaptions/vanilla' in repr(result)
+
+    def test_app_interference_width_zero_means_none(self):
+        result = run_parallel('swaptions', 'vanilla',
+                              InterferenceSpec('hogs', 0), scale=0.05)
+        assert result.bg_rates == []
+        assert len(result.scenario.bg_kernels) == 0
+
+    def test_custom_thread_count(self):
+        result = run_parallel('swaptions', 'vanilla', scale=0.05,
+                              n_threads=2)
+        assert len(result.workload.tasks) == 2

@@ -1,0 +1,180 @@
+"""Unit tests for event channels, hypercalls, and the VM container."""
+
+import pytest
+
+from repro.hypervisor import (
+    Machine,
+    SCHEDOP_BLOCK,
+    SCHEDOP_YIELD,
+    VIRQ_SA_UPCALL,
+    VM,
+)
+from repro.simkernel import Simulator
+from repro.simkernel.units import MS, SEC
+from repro.workloads import Compute
+
+from conftest import build_vm
+
+
+class RecordingGuest:
+    """Minimal guest stub implementing the duck-typed interface."""
+
+    def __init__(self):
+        self.virqs = []
+
+    def vcpu_started_running(self, vcpu):
+        pass
+
+    def vcpu_stopped_running(self, vcpu):
+        pass
+
+    def deliver_virq(self, vcpu, virq):
+        self.virqs.append((vcpu.name, virq))
+
+
+class TestEventChannels:
+    def test_virq_to_running_vcpu_delivers_now(self):
+        sim = Simulator()
+        machine = Machine(sim, n_pcpus=1)
+        vm = VM('vm', 1, sim)
+        machine.add_vm(vm, pinning=[0])
+        guest = RecordingGuest()
+        vm.attach_guest(guest)
+        vcpu = vm.vcpus[0]
+        machine.scheduler.wake(vcpu)
+        assert vcpu.is_running
+        machine.channels.send_virq(vcpu, VIRQ_SA_UPCALL)
+        assert guest.virqs == [('vm.v0', VIRQ_SA_UPCALL)]
+
+    def test_virq_to_descheduled_vcpu_pends(self):
+        sim = Simulator()
+        machine = Machine(sim, n_pcpus=1)
+        vm = VM('vm', 1, sim)
+        machine.add_vm(vm, pinning=[0])
+        guest = RecordingGuest()
+        vm.attach_guest(guest)
+        vcpu = vm.vcpus[0]
+        machine.channels.send_virq(vcpu, 'VIRQ_X')
+        assert guest.virqs == []
+        assert vcpu.pending_virqs == ['VIRQ_X']
+
+    def test_pended_virq_delivered_on_dispatch(self):
+        sim = Simulator()
+        machine = Machine(sim, n_pcpus=1)
+        vm = VM('vm', 1, sim)
+        machine.add_vm(vm, pinning=[0])
+        guest = RecordingGuest()
+        vm.attach_guest(guest)
+        vcpu = vm.vcpus[0]
+        machine.channels.send_virq(vcpu, 'VIRQ_X')
+        machine.scheduler.wake(vcpu)
+        assert guest.virqs == [('vm.v0', 'VIRQ_X')]
+        assert vcpu.pending_virqs == []
+
+    def test_duplicate_pended_virq_collapses(self):
+        sim = Simulator()
+        machine = Machine(sim, n_pcpus=1)
+        vm = VM('vm', 1, sim)
+        machine.add_vm(vm, pinning=[0])
+        vm.attach_guest(RecordingGuest())
+        vcpu = vm.vcpus[0]
+        machine.channels.send_virq(vcpu, 'VIRQ_X')
+        machine.channels.send_virq(vcpu, 'VIRQ_X')
+        assert vcpu.pending_virqs == ['VIRQ_X']
+
+    def test_virq_without_guest_dropped(self):
+        sim = Simulator()
+        machine = Machine(sim, n_pcpus=1)
+        vm = VM('vm', 1, sim)
+        machine.add_vm(vm, pinning=[0])
+        machine.channels.send_virq(vm.vcpus[0], 'VIRQ_X')
+        assert sim.trace.counters['virq.dropped'] == 1
+
+
+class TestHypercalls:
+    def _machine_with_hog(self):
+        sim = Simulator(seed=1)
+        machine = Machine(sim, n_pcpus=1)
+        vm, kernel = build_vm(sim, machine, pinning=[0])
+
+        def hog():
+            while True:
+                yield Compute(10 * MS)
+        kernel.spawn('h', hog())
+        machine.start()
+        return sim, machine, vm
+
+    def test_runstate_probe(self):
+        sim, machine, vm = self._machine_with_hog()
+        sim.run_until(5 * MS)
+        assert machine.hypercalls.vcpu_op_get_runstate(
+            vm.vcpus[0]) == 'running'
+        assert machine.hypercalls.vcpu_is_running(vm.vcpus[0])
+        assert not machine.hypercalls.vcpu_is_preempted(vm.vcpus[0])
+
+    def test_sched_op_yield_keeps_vcpu_runnable(self):
+        sim, machine, vm = self._machine_with_hog()
+        sim.run_until(5 * MS)
+        machine.hypercalls.sched_op(vm.vcpus[0], SCHEDOP_YIELD)
+        # Sole vCPU on the pCPU: it is redispatched at once.
+        assert vm.vcpus[0].is_running
+
+    def test_unknown_sched_op_raises(self):
+        sim, machine, vm = self._machine_with_hog()
+        with pytest.raises(ValueError):
+            machine.hypercalls.sched_op(vm.vcpus[0], 'SCHEDOP_bogus')
+
+    def test_steal_time_visible(self):
+        sim = Simulator(seed=2)
+        machine = Machine(sim, n_pcpus=1)
+        __, k1 = build_vm(sim, machine, 'a', pinning=[0])
+        __, k2 = build_vm(sim, machine, 'b', pinning=[0])
+
+        def hog():
+            while True:
+                yield Compute(10 * MS)
+        k1.spawn('h1', hog())
+        k2.spawn('h2', hog())
+        machine.start()
+        sim.run_until(1 * SEC)
+        steal = machine.hypercalls.steal_time(machine.vms[0].vcpus[0])
+        assert steal > 300 * MS
+
+
+class TestVm:
+    def test_siblings(self):
+        sim = Simulator()
+        vm = VM('vm', 3, sim)
+        sibs = vm.siblings_of(vm.vcpus[1])
+        assert vm.vcpus[1] not in sibs
+        assert len(sibs) == 2
+
+    def test_zero_vcpus_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            VM('bad', 0, sim)
+
+    def test_fair_share_two_equal_vms(self):
+        sim = Simulator()
+        machine = Machine(sim, n_pcpus=4)
+        a = VM('a', 4, sim)
+        b = VM('b', 4, sim)
+        machine.add_vm(a, pinning=[0, 1, 2, 3])
+        machine.add_vm(b, pinning=[0, 1, 2, 3])
+        share = machine.fair_share_ns(a, 1 * SEC)
+        assert share == 2 * SEC  # half of 4 pCPUs over 1 s
+
+    def test_fair_share_capped_at_vcpu_count(self):
+        sim = Simulator()
+        machine = Machine(sim, n_pcpus=4)
+        a = VM('a', 1, sim)
+        machine.add_vm(a, pinning=[0])
+        share = machine.fair_share_ns(a, 1 * SEC)
+        assert share == 1 * SEC  # one vCPU can't use 4 pCPUs
+
+    def test_bad_pinning_length_rejected(self):
+        sim = Simulator()
+        machine = Machine(sim, n_pcpus=2)
+        vm = VM('vm', 2, sim)
+        with pytest.raises(ValueError):
+            machine.add_vm(vm, pinning=[0])

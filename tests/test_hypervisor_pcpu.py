@@ -1,0 +1,108 @@
+"""Unit tests for the pCPU runqueue container."""
+
+from repro.hypervisor.pcpu import PCpu
+from repro.hypervisor.vcpu import PRI_BOOST, PRI_OVER, PRI_UNDER
+from repro.hypervisor.vm import VM
+from repro.simkernel import Simulator
+
+
+def make_vcpus(n, priorities=None):
+    sim = Simulator()
+    vm = VM('vm', n, sim)
+    if priorities:
+        for vcpu, pri in zip(vm.vcpus, priorities):
+            vcpu.priority = pri
+    return vm.vcpus
+
+
+class TestInsertOrdering:
+    def test_fifo_within_priority(self):
+        pcpu = PCpu(0)
+        a, b = make_vcpus(2, [PRI_UNDER, PRI_UNDER])
+        pcpu.insert_vcpu(a)
+        pcpu.insert_vcpu(b)
+        assert pcpu.runq == [a, b]
+
+    def test_higher_priority_ahead(self):
+        pcpu = PCpu(0)
+        over, boost = make_vcpus(2, [PRI_OVER, PRI_BOOST])
+        pcpu.insert_vcpu(over)
+        pcpu.insert_vcpu(boost)
+        assert pcpu.runq == [boost, over]
+
+    def test_insert_head_jumps_own_class(self):
+        pcpu = PCpu(0)
+        a, b, c = make_vcpus(3, [PRI_UNDER, PRI_UNDER, PRI_UNDER])
+        pcpu.insert_vcpu(a)
+        pcpu.insert_vcpu(b)
+        pcpu.insert_vcpu_head(c)
+        assert pcpu.runq == [c, a, b]
+
+    def test_insert_head_respects_higher_class(self):
+        pcpu = PCpu(0)
+        boost, under = make_vcpus(2, [PRI_BOOST, PRI_UNDER])
+        pcpu.insert_vcpu(boost)
+        pcpu.insert_vcpu_head(under)
+        assert pcpu.runq == [boost, under]
+
+    def test_insert_sets_pcpu_backref(self):
+        pcpu = PCpu(3)
+        (vcpu,) = make_vcpus(1)
+        pcpu.insert_vcpu(vcpu)
+        assert vcpu.pcpu is pcpu
+
+
+class TestRemovalAndPeek:
+    def test_peek_best_returns_head(self):
+        pcpu = PCpu(0)
+        a, b = make_vcpus(2, [PRI_OVER, PRI_UNDER])
+        pcpu.insert_vcpu(a)
+        pcpu.insert_vcpu(b)
+        assert pcpu.peek_best() is b
+
+    def test_peek_empty_none(self):
+        assert PCpu(0).peek_best() is None
+
+    def test_remove(self):
+        pcpu = PCpu(0)
+        a, b = make_vcpus(2)
+        pcpu.insert_vcpu(a)
+        pcpu.insert_vcpu(b)
+        pcpu.remove_vcpu(a)
+        assert pcpu.runq == [b]
+
+    def test_load_counts_current_and_queue(self):
+        pcpu = PCpu(0)
+        a, b = make_vcpus(2)
+        pcpu.insert_vcpu(a)
+        assert pcpu.load == 1
+        pcpu.current = b
+        assert pcpu.load == 2
+        assert pcpu.nr_runnable == 1
+
+
+class TestBusyAccounting:
+    def test_busy_interval_accumulates(self):
+        pcpu = PCpu(0)
+        pcpu.mark_busy(100)
+        pcpu.mark_idle(250)
+        assert pcpu.busy_ns == 150
+
+    def test_mark_busy_idempotent(self):
+        pcpu = PCpu(0)
+        pcpu.mark_busy(100)
+        pcpu.mark_busy(120)  # should not reset the interval start
+        pcpu.mark_idle(200)
+        assert pcpu.busy_ns == 100
+
+    def test_mark_idle_without_busy_is_noop(self):
+        pcpu = PCpu(0)
+        pcpu.mark_idle(500)
+        assert pcpu.busy_ns == 0
+
+    def test_snapshot_includes_open_interval(self):
+        pcpu = PCpu(0)
+        pcpu.mark_busy(0)
+        assert pcpu.snapshot_busy(80) == 80
+        pcpu.mark_idle(100)
+        assert pcpu.snapshot_busy(120) == 100

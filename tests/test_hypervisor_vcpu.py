@@ -1,0 +1,93 @@
+"""Unit tests for vCPU runstate accounting."""
+
+from repro.hypervisor.vcpu import (
+    PRI_UNDER,
+    RUNSTATE_BLOCKED,
+    RUNSTATE_OFFLINE,
+    RUNSTATE_RUNNABLE,
+    RUNSTATE_RUNNING,
+    VCpu,
+)
+from repro.hypervisor.vm import VM
+from repro.simkernel import Simulator
+
+
+def make_vcpu():
+    sim = Simulator()
+    vm = VM('vm', 1, sim)
+    return vm.vcpus[0]
+
+
+class TestRunstateTransitions:
+    def test_initial_state_offline(self):
+        vcpu = make_vcpu()
+        assert vcpu.runstate == RUNSTATE_OFFLINE
+
+    def test_running_time_charged(self):
+        vcpu = make_vcpu()
+        vcpu.set_runstate(RUNSTATE_RUNNING, 0)
+        vcpu.set_runstate(RUNSTATE_RUNNABLE, 100)
+        assert vcpu.run_ns == 100
+        assert vcpu.steal_ns == 0
+
+    def test_steal_time_charged_for_runnable(self):
+        vcpu = make_vcpu()
+        vcpu.set_runstate(RUNSTATE_RUNNABLE, 0)
+        vcpu.set_runstate(RUNSTATE_RUNNING, 70)
+        assert vcpu.steal_ns == 70
+
+    def test_blocked_time_charged(self):
+        vcpu = make_vcpu()
+        vcpu.set_runstate(RUNSTATE_BLOCKED, 10)
+        vcpu.set_runstate(RUNSTATE_RUNNABLE, 60)
+        assert vcpu.blocked_ns == 50
+
+    def test_full_cycle_accounting(self):
+        vcpu = make_vcpu()
+        vcpu.set_runstate(RUNSTATE_RUNNING, 0)
+        vcpu.set_runstate(RUNSTATE_RUNNABLE, 30)
+        vcpu.set_runstate(RUNSTATE_RUNNING, 50)
+        vcpu.set_runstate(RUNSTATE_BLOCKED, 90)
+        vcpu.set_runstate(RUNSTATE_RUNNING, 100)
+        assert vcpu.run_ns == 70
+        assert vcpu.steal_ns == 20
+        assert vcpu.blocked_ns == 10
+
+
+class TestSnapshot:
+    def test_snapshot_includes_open_interval(self):
+        vcpu = make_vcpu()
+        vcpu.set_runstate(RUNSTATE_RUNNING, 0)
+        run, steal, blocked = vcpu.snapshot_accounting(40)
+        assert run == 40
+        assert steal == 0 and blocked == 0
+
+    def test_snapshot_does_not_mutate(self):
+        vcpu = make_vcpu()
+        vcpu.set_runstate(RUNSTATE_RUNNING, 0)
+        vcpu.snapshot_accounting(40)
+        assert vcpu.run_ns == 0  # only charged on transition
+
+    def test_snapshot_runnable_open_interval(self):
+        vcpu = make_vcpu()
+        vcpu.set_runstate(RUNSTATE_RUNNABLE, 5)
+        __, steal, __ = vcpu.snapshot_accounting(25)
+        assert steal == 20
+
+
+class TestPredicates:
+    def test_predicates_follow_state(self):
+        vcpu = make_vcpu()
+        vcpu.set_runstate(RUNSTATE_RUNNING, 0)
+        assert vcpu.is_running and not vcpu.is_runnable
+        vcpu.set_runstate(RUNSTATE_RUNNABLE, 1)
+        assert vcpu.is_runnable and not vcpu.is_blocked
+        vcpu.set_runstate(RUNSTATE_BLOCKED, 2)
+        assert vcpu.is_blocked and not vcpu.is_running
+
+    def test_default_priority_under(self):
+        assert make_vcpu().priority == PRI_UNDER
+
+    def test_name_includes_vm(self):
+        vcpu = make_vcpu()
+        assert vcpu.name == 'vm.v0'

@@ -1,0 +1,167 @@
+"""Focused tests for guest-kernel paths exercised by IRS, migration
+penalties, and configuration knobs."""
+
+from repro.core import IRSConfig, install_irs
+from repro.guestos import CfsConfig, GuestKernel
+from repro.guestos.task import TASK_MIGRATING
+from repro.hypervisor import CreditConfig, Machine, SCHEDOP_BLOCK, SCHEDOP_YIELD, VM
+from repro.simkernel import Simulator
+from repro.simkernel.units import MS, SEC, US
+from repro.workloads import Compute, cpu_hog
+
+from conftest import build_machine, build_vm
+
+
+class TestSaContextSwitchAnswers:
+    def _irs_pair(self, sim):
+        machine = build_machine(sim, 1)
+        vm, kernel = build_vm(sim, machine, 'fg', pinning=[0])
+        __, hk = build_vm(sim, machine, 'hog', pinning=[0])
+        hk.spawn('hog', cpu_hog(10 * MS))
+        install_irs(machine, [kernel])
+        machine.start()
+        return machine, vm, kernel
+
+    def test_empty_runqueue_answers_block(self, sim):
+        machine, vm, kernel = self._irs_pair(sim)
+        kernel.spawn('solo', cpu_hog(10 * MS))
+        # Drive until the first SA completes.
+        sim.run_until(200 * MS)
+        op, task = None, None
+        # Reproduce the decision the context switcher made: single task,
+        # so after descheduling it the rq is empty -> SCHEDOP_block.
+        gcpu = kernel.gcpus[0]
+        kernel.sa_begin(gcpu)
+        op, task = kernel.sa_context_switch(gcpu)
+        assert op == SCHEDOP_BLOCK
+        if task is not None:
+            assert task.state == TASK_MIGRATING
+            assert task.irs_tag
+
+    def test_nonempty_runqueue_answers_yield(self, sim):
+        machine, vm, kernel = self._irs_pair(sim)
+        kernel.spawn('a', cpu_hog(10 * MS))
+        kernel.spawn('b', cpu_hog(10 * MS))
+        sim.run_until(55 * MS)
+        gcpu = kernel.gcpus[0]
+        if gcpu.current is None:
+            sim.run_until(sim.now + 40 * MS)
+        assert gcpu.current is not None
+        kernel.sa_begin(gcpu)
+        op, task = kernel.sa_context_switch(gcpu)
+        assert op == SCHEDOP_YIELD
+        assert gcpu.rq.nr_ready >= 1
+
+    def test_sa_handler_time_not_charged_to_task(self, sim):
+        """Handler time is kernel time: the task is charged exactly its
+        compute plus per-migration cache-refill penalties, never the
+        20-26 us SA handler windows."""
+        machine, vm, kernel = self._irs_pair(sim)
+        done = []
+        task = kernel.spawn('t', iter([Compute(300 * MS)]),
+                            on_exit=lambda t, now: done.append(now))
+        sim.run_until(5 * SEC)
+        assert done
+        penalty = kernel.policy.config.migration_penalty_ns
+        assert task.cpu_ns >= 300 * MS
+        assert task.cpu_ns <= 300 * MS + task.migrations * penalty
+
+
+class TestMigrationPenalty:
+    def test_cache_footprint_scales_penalty(self, sim):
+        """A memory-heavy task pays a proportionally larger compute
+        extension when migrated."""
+        machine = build_machine(sim, 2)
+        vm, kernel = build_vm(sim, machine, n_vcpus=2, pinning=[0, 1])
+        machine.start()
+        light = kernel.spawn('light', iter([Compute(50 * MS)]),
+                             gcpu_index=0, cache_footprint=1.0)
+        sim.run_until(1 * MS)
+        base_remaining = light.remaining_ns
+        kernel.pull_task(light, kernel.gcpus[1]) if light.state == 'ready' \
+            else None
+        # Direct unit check on the penalty application instead:
+        heavy = kernel.spawn('heavy', iter([Compute(50 * MS)]),
+                             gcpu_index=0, cache_footprint=4.0)
+        sim.run_until(sim.now + 1 * MS)
+        for task in (light, heavy):
+            if task.remaining_ns > 0:
+                before = task.remaining_ns
+                kernel._apply_migration_penalty(task)
+                penalty = task.remaining_ns - before
+                expected = int(kernel.policy.config.migration_penalty_ns *
+                               task.cache_footprint)
+                assert penalty == expected
+
+    def test_no_penalty_without_inflight_compute(self, sim):
+        machine, vm, kernel = (lambda m: (m, *build_vm(sim, m,
+                                                       pinning=[0])))(
+            build_machine(sim, 1))
+        machine.start()
+        task = kernel.spawn('t', iter([Compute(1 * MS)]))
+        sim.run_until(10 * MS)          # task exited; no compute left
+        before = task.remaining_ns
+        kernel._apply_migration_penalty(task)
+        assert task.remaining_ns == before
+
+
+class TestConfigKnobs:
+    def test_custom_cfs_latency_shrinks_slices(self):
+        sim = Simulator(seed=1)
+        machine = Machine(sim, 1)
+        vm = VM('vm', 1, sim)
+        machine.add_vm(vm, pinning=[0])
+        config = CfsConfig(sched_latency_ns=2 * MS)
+        kernel = GuestKernel(sim, vm, machine, cfs_config=config)
+        assert kernel.policy.slice_ns(2) == 1 * MS
+
+    def test_custom_credit_slice_changes_alternation(self):
+        """A 10 ms hypervisor slice doubles the context-switch rate of
+        two competing vCPUs versus the 30 ms default."""
+        def preemptions(tslice_ms):
+            sim = Simulator(seed=2)
+            config = CreditConfig(tslice_ns=tslice_ms * MS)
+            machine = Machine(sim, 1, credit_config=config)
+            __, k1 = build_vm(sim, machine, 'a', pinning=[0])
+            __, k2 = build_vm(sim, machine, 'b', pinning=[0])
+            k1.spawn('h1', cpu_hog(10 * MS))
+            k2.spawn('h2', cpu_hog(10 * MS))
+            machine.start()
+            sim.run_until(1 * SEC)
+            return sim.trace.counters['hv.preemptions']
+        assert preemptions(10) > preemptions(30) * 2
+
+    def test_boost_can_be_disabled(self):
+        from repro.workloads import Sleep
+        sim = Simulator(seed=3)
+        config = CreditConfig(boost_on_wake=False)
+        machine = Machine(sim, 1, credit_config=config)
+        __, kh = build_vm(sim, machine, 'hog', pinning=[0])
+        __, ks = build_vm(sim, machine, 'sleeper', pinning=[0])
+        kh.spawn('h', cpu_hog(10 * MS))
+
+        def napper():
+            while True:
+                yield Sleep(20 * MS)
+                yield Compute(1 * MS)
+        ks.spawn('s', napper())
+        machine.start()
+        sim.run_until(1 * SEC)
+        # Without boosting, wakes wait for slice boundaries: heavy
+        # steal for the sleeper.
+        steal = machine.vms[1].total_runstate(sim.now)[1]
+        assert steal > 100 * MS
+
+    def test_irs_config_migrator_kick_delay(self, sim):
+        """A larger migrator kick delays migration but not correctness."""
+        machine = build_machine(sim, 2)
+        vm, kernel = build_vm(sim, machine, 'fg', n_vcpus=2,
+                              pinning=[0, 1])
+        __, hk = build_vm(sim, machine, 'hog', pinning=[0])
+        hk.spawn('hog', cpu_hog(10 * MS))
+        install_irs(machine, [kernel],
+                    IRSConfig(migrator_kick_ns=500 * US))
+        worker = kernel.spawn('w', cpu_hog(10 * MS), gcpu_index=0)
+        machine.start()
+        sim.run_until(500 * MS)
+        assert worker.migrations > 0

@@ -1,0 +1,82 @@
+"""Tests for the runstate timeline recorder."""
+
+from repro.metrics import TimelineRecorder
+from repro.simkernel.units import MS, SEC
+from repro.workloads import cpu_hog
+
+from conftest import build_machine, build_vm
+
+
+def contended(sim):
+    machine = build_machine(sim, 1)
+    vm_a, ka = build_vm(sim, machine, 'a', pinning=[0])
+    vm_b, kb = build_vm(sim, machine, 'b', pinning=[0])
+    ka.spawn('ha', cpu_hog(10 * MS))
+    kb.spawn('hb', cpu_hog(10 * MS))
+    machine.start()
+    return machine, vm_a, vm_b
+
+
+class TestSampling:
+    def test_samples_accumulate(self, sim):
+        machine, vm_a, vm_b = contended(sim)
+        recorder = TimelineRecorder(sim, machine, period_ns=5 * MS).start()
+        sim.run_until(500 * MS)
+        assert 90 <= len(recorder.samples) <= 101
+
+    def test_stop_halts_sampling(self, sim):
+        machine, vm_a, vm_b = contended(sim)
+        recorder = TimelineRecorder(sim, machine, period_ns=5 * MS).start()
+        sim.run_until(100 * MS)
+        recorder.stop()
+        count = len(recorder.samples)
+        sim.run_until(300 * MS)
+        assert len(recorder.samples) == count
+
+    def test_max_samples_cap(self, sim):
+        machine, vm_a, vm_b = contended(sim)
+        recorder = TimelineRecorder(sim, machine, period_ns=1 * MS,
+                                    max_samples=10).start()
+        sim.run_until(1 * SEC)
+        assert len(recorder.samples) == 10
+
+
+class TestAnalysis:
+    def test_occupancy_splits_between_competitors(self, sim):
+        machine, vm_a, vm_b = contended(sim)
+        recorder = TimelineRecorder(sim, machine, period_ns=1 * MS).start()
+        sim.run_until(2 * SEC)
+        occupancy = recorder.occupancy('a.v0')
+        assert 0.35 < occupancy.get('running', 0) < 0.65
+        assert 0.35 < occupancy.get('runnable', 0) < 0.65
+
+    def test_occupancy_unknown_vcpu_empty(self, sim):
+        machine, vm_a, vm_b = contended(sim)
+        recorder = TimelineRecorder(sim, machine).start()
+        sim.run_until(100 * MS)
+        assert recorder.occupancy('ghost.v9') == {}
+
+    def test_colocation_zero_when_pinned_apart(self, sim):
+        machine = build_machine(sim, 2)
+        vm, kernel = build_vm(sim, machine, n_vcpus=2, pinning=[0, 1])
+        kernel.spawn('w0', cpu_hog(10 * MS), gcpu_index=0)
+        kernel.spawn('w1', cpu_hog(10 * MS), gcpu_index=1)
+        machine.start()
+        recorder = TimelineRecorder(sim, machine).start()
+        sim.run_until(300 * MS)
+        assert recorder.colocation_fraction(vm) == 0.0
+
+
+class TestRendering:
+    def test_render_contains_all_vcpus(self, sim):
+        machine, vm_a, vm_b = contended(sim)
+        recorder = TimelineRecorder(sim, machine, period_ns=2 * MS).start()
+        sim.run_until(500 * MS)
+        art = recorder.render(width=40)
+        assert 'a.v0' in art and 'b.v0' in art
+        assert '#' in art and '.' in art
+
+    def test_render_empty(self, sim):
+        machine, vm_a, vm_b = contended(sim)
+        recorder = TimelineRecorder(sim, machine)
+        assert recorder.render() == '(no samples)'

@@ -1,0 +1,49 @@
+"""Tests for the open-loop (Poisson arrival) server workload."""
+
+from repro.simkernel.units import MS, SEC
+from repro.workloads import OpenLoopServerWorkload
+
+from conftest import single_vm_machine
+
+
+class TestOpenLoopServer:
+    def _run(self, sim, arrivals_per_sec=500, measure_s=2, **kw):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=4, n_vcpus=4)
+        server = OpenLoopServerWorkload(sim, kernel,
+                                        arrivals_per_sec=arrivals_per_sec,
+                                        **kw).install()
+        sim.run_until(300 * MS)
+        server.reset_measurement()
+        sim.run_until(sim.now + measure_s * SEC)
+        return server
+
+    def test_throughput_tracks_arrival_rate(self, sim):
+        server = self._run(sim, arrivals_per_sec=500)
+        assert 425 <= server.throughput() <= 575
+
+    def test_latency_above_service_time(self, sim):
+        server = self._run(sim, arrivals_per_sec=500, service_ns=2 * MS)
+        assert server.latency.p50() >= 1 * MS
+
+    def test_saturation_inflates_latency(self, sim):
+        """Arrivals beyond capacity back the queue up."""
+        light = self._run(sim, arrivals_per_sec=200, service_ns=2 * MS)
+        from repro.simkernel import Simulator
+        sim2 = Simulator(seed=42)
+        heavy = self._run(sim2, arrivals_per_sec=3000, service_ns=2 * MS)
+        assert heavy.latency.p99() > 3 * light.latency.p99()
+
+    def test_worker_count_defaults_to_vcpus(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=4, n_vcpus=4)
+        server = OpenLoopServerWorkload(sim, kernel).install()
+        # 4 workers + 1 arrival generator.
+        assert len(server.tasks) == 5
+
+    def test_drops_counted_when_queue_full(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=1, n_vcpus=1)
+        server = OpenLoopServerWorkload(sim, kernel, n_workers=1,
+                                        arrivals_per_sec=5000,
+                                        service_ns=5 * MS,
+                                        queue_capacity=4).install()
+        sim.run_until(2 * SEC)
+        assert server.dropped > 0

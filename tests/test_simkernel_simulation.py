@@ -1,0 +1,120 @@
+"""Unit tests for the Simulator driver."""
+
+import pytest
+
+from repro.simkernel import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_after_fires_at_offset(self):
+        sim = Simulator()
+        fired = []
+        sim.after(100, lambda: fired.append(sim.now))
+        sim.run_until(1000)
+        assert fired == [100]
+
+    def test_at_fires_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.at(250, lambda: fired.append(sim.now))
+        sim.run_until(1000)
+        assert fired == [250]
+
+    def test_call_soon_fires_at_current_time(self):
+        sim = Simulator()
+        fired = []
+        sim.after(50, lambda: sim.call_soon(lambda: fired.append(sim.now)))
+        sim.run_until(1000)
+        assert fired == [50]
+
+    def test_at_in_past_raises(self):
+        sim = Simulator()
+        sim.after(10, lambda: None)
+        sim.run_until(100)
+        with pytest.raises(SimulationError):
+            sim.at(5, lambda: None)
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.after(-1, lambda: None)
+
+
+class TestRunning:
+    def test_run_until_advances_clock_to_end(self):
+        sim = Simulator()
+        sim.run_until(500)
+        assert sim.now == 500
+
+    def test_run_until_does_not_fire_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.after(600, lambda: fired.append(True))
+        sim.run_until(500)
+        assert fired == []
+        assert sim.pending_events == 1
+
+    def test_run_until_fires_boundary_event(self):
+        sim = Simulator()
+        fired = []
+        sim.after(500, lambda: fired.append(True))
+        sim.run_until(500)
+        assert fired == [True]
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.after(10, lambda: (fired.append(1), sim.stop()))
+        sim.after(20, lambda: fired.append(2))
+        sim.run_until(100)
+        assert fired == [1]
+        # A later run picks the remaining event up.
+        sim.run_until(100)
+        assert fired == [1, 2]
+
+    def test_run_until_idle_drains_queue(self):
+        sim = Simulator()
+        fired = []
+        for t in (5, 10, 15):
+            sim.at(t, lambda: fired.append(sim.now))
+        count = sim.run_until_idle()
+        assert count == 3
+        assert fired == [5, 10, 15]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.after(1, rearm)
+        sim.after(1, rearm)
+        with pytest.raises(SimulationError):
+            sim.run_until(10**9, max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in range(10):
+            sim.at(t, lambda: None)
+        sim.run_until_idle()
+        assert sim.events_processed == 10
+
+    def test_events_fire_in_causal_order(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(('first', sim.now))
+            sim.after(5, second)
+
+        def second():
+            log.append(('second', sim.now))
+        sim.after(10, first)
+        sim.run_until_idle()
+        assert log == [('first', 10), ('second', 15)]
+
+    def test_clock_never_goes_backwards(self):
+        sim = Simulator(seed=7)
+        stamps = []
+        for t in (3, 1, 2, 1, 5):
+            sim.at(t, lambda: stamps.append(sim.now))
+        sim.run_until_idle()
+        assert stamps == sorted(stamps)

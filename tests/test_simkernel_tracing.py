@@ -1,0 +1,84 @@
+"""Unit tests for tracing and counters."""
+
+from repro.simkernel.tracing import Tracer
+from repro.simkernel.units import (
+    MS,
+    SEC,
+    US,
+    format_ns,
+    ns_to_ms,
+    ns_to_sec,
+    ns_to_us,
+)
+
+
+class TestCounters:
+    def test_count_increments(self):
+        t = Tracer()
+        t.count('a')
+        t.count('a', 2)
+        assert t.counters['a'] == 3
+
+    def test_counters_work_when_tracing_disabled(self):
+        t = Tracer(enabled=False)
+        t.count('x')
+        assert t.counters['x'] == 1
+
+    def test_add_time(self):
+        t = Tracer()
+        t.add_time('busy', 500)
+        t.add_time('busy', 250)
+        assert t.counters['busy'] == 750
+
+    def test_missing_counter_is_zero(self):
+        t = Tracer()
+        assert t.counters['nothing'] == 0
+
+
+class TestRecords:
+    def test_emit_disabled_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.emit(1, 'cat', x=1)
+        assert t.records == []
+
+    def test_emit_enabled_records(self):
+        t = Tracer(enabled=True)
+        t.emit(5, 'sched', vcpu='v0')
+        assert len(t.records) == 1
+        assert t.records[0].time == 5
+        assert t.records[0].category == 'sched'
+        assert t.records[0].detail == {'vcpu': 'v0'}
+
+    def test_category_filter(self):
+        t = Tracer(enabled=True, categories=['keep'])
+        t.emit(1, 'keep')
+        t.emit(2, 'drop')
+        assert len(t.records) == 1
+
+    def test_records_for(self):
+        t = Tracer(enabled=True)
+        t.emit(1, 'a')
+        t.emit(2, 'b')
+        t.emit(3, 'a')
+        assert [r.time for r in t.records_for('a')] == [1, 3]
+
+    def test_clear(self):
+        t = Tracer(enabled=True)
+        t.emit(1, 'a')
+        t.count('c')
+        t.clear()
+        assert t.records == []
+        assert t.counters['c'] == 0
+
+
+class TestUnits:
+    def test_conversions(self):
+        assert ns_to_ms(30 * MS) == 30.0
+        assert ns_to_us(5 * US) == 5.0
+        assert ns_to_sec(2 * SEC) == 2.0
+
+    def test_format_ns_picks_unit(self):
+        assert format_ns(500) == '500ns'
+        assert format_ns(1500) == '1.500us'
+        assert format_ns(30 * MS) == '30.000ms'
+        assert format_ns(2 * SEC) == '2.000s'

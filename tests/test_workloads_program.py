@@ -1,0 +1,162 @@
+"""Unit tests for the program builders (action-sequence generators)."""
+
+from repro.simkernel import Simulator
+from repro.simkernel.units import MS
+from repro.workloads import (
+    Acquire,
+    BarrierWait,
+    Compute,
+    Mutex,
+    QueueGet,
+    QueuePut,
+    Release,
+    Barrier,
+    BoundedQueue,
+)
+from repro.workloads.program import (
+    PIPELINE_STOP,
+    barrier_phases,
+    compute_chunks,
+    cpu_hog,
+    mutex_loop,
+    pipeline_source,
+    work_steal_worker,
+)
+
+
+def drain(generator, limit=10_000):
+    actions = []
+    for action in generator:
+        actions.append(action)
+        if len(actions) >= limit:
+            break
+    return actions
+
+
+class TestSimplePrograms:
+    def test_cpu_hog_never_ends(self):
+        actions = drain(cpu_hog(5 * MS), limit=50)
+        assert len(actions) == 50
+        assert all(isinstance(a, Compute) for a in actions)
+
+    def test_compute_chunks_total(self):
+        actions = drain(compute_chunks(10 * MS, 3 * MS))
+        assert sum(a.duration_ns for a in actions) == 10 * MS
+        assert [a.duration_ns for a in actions] == [3 * MS, 3 * MS,
+                                                    3 * MS, 1 * MS]
+
+    def test_compute_chunks_zero(self):
+        assert drain(compute_chunks(0, 1 * MS)) == []
+
+
+class TestBarrierPhases:
+    def test_structure(self):
+        sim = Simulator(seed=0)
+        barrier = Barrier(2)
+        actions = drain(barrier_phases(sim, 's', barrier, 5 * MS, 3))
+        kinds = [type(a).__name__ for a in actions]
+        assert kinds == ['Compute', 'BarrierWait'] * 3
+
+    def test_critical_section_inserted(self):
+        sim = Simulator(seed=0)
+        barrier = Barrier(2)
+        mutex = Mutex()
+        actions = drain(barrier_phases(sim, 's', barrier, 5 * MS, 2,
+                                       critical=(mutex, 100)))
+        kinds = [type(a).__name__ for a in actions]
+        assert kinds == ['Compute', 'Acquire', 'Compute', 'Release',
+                         'BarrierWait'] * 2
+
+    def test_region_boundary_interleaving(self):
+        sim = Simulator(seed=0)
+        spin = Barrier(2, mode='spin')
+        region = Barrier(2, mode='block')
+        actions = drain(barrier_phases(sim, 's', spin, 5 * MS, 6,
+                                       region_barrier=region,
+                                       region_every=3))
+        barriers = [a.barrier for a in actions
+                    if isinstance(a, BarrierWait)]
+        assert barriers == [spin, spin, region, spin, spin, region]
+
+    def test_jitter_bounded(self):
+        sim = Simulator(seed=0)
+        barrier = Barrier(2)
+        actions = drain(barrier_phases(sim, 's', barrier, 10 * MS, 20,
+                                       jitter=0.2))
+        for action in actions:
+            if isinstance(action, Compute):
+                assert 8 * MS <= action.duration_ns <= 12 * MS
+
+    def test_phase_callback(self):
+        sim = Simulator(seed=0)
+        barrier = Barrier(1)
+        stamps = []
+        list(barrier_phases(sim, 's', barrier, 1 * MS, 4,
+                            on_phase=stamps.append))
+        assert len(stamps) == 4
+
+
+class TestMutexLoop:
+    def test_structure(self):
+        sim = Simulator(seed=0)
+        mutex = Mutex()
+        actions = drain(mutex_loop(sim, 's', mutex, 4 * MS, 100, 2))
+        kinds = [type(a).__name__ for a in actions]
+        assert kinds == ['Compute', 'Acquire', 'Compute', 'Release'] * 2
+        criticals = [a for a in actions if isinstance(a, Compute)][1::2]
+        assert all(c.duration_ns == 100 for c in criticals)
+
+
+class TestWorkStealing:
+    def test_pool_drains_across_workers(self):
+        sim = Simulator(seed=0)
+        pool = [1 * MS] * 10
+        w1 = work_steal_worker(sim, pool)
+        w2 = work_steal_worker(sim, pool)
+        taken = 0
+        # Alternate fetches, as two threads would.
+        gens = [w1, w2]
+        while True:
+            progressed = False
+            for g in gens:
+                try:
+                    next(g)
+                    taken += 1
+                    progressed = True
+                except StopIteration:
+                    pass
+            if not progressed:
+                break
+        assert taken == 10
+        assert pool == []
+
+
+class TestPipelinePrograms:
+    def test_source_emits_items_then_stops(self):
+        sim = Simulator(seed=0)
+        queue = BoundedQueue(100)
+        counter = [0]
+        actions = drain(pipeline_source(sim, 's', queue, 3, 1 * MS, 0.0,
+                                        counter, n_source_threads=1,
+                                        next_stage_threads=2))
+        puts = [a for a in actions if isinstance(a, QueuePut)]
+        assert len(puts) == 5                      # 3 items + 2 stops
+        assert [p.item for p in puts[-2:]] == [PIPELINE_STOP,
+                                               PIPELINE_STOP]
+
+    def test_only_last_source_sends_stops(self):
+        sim = Simulator(seed=0)
+        queue = BoundedQueue(100)
+        counter = [0]
+        first = drain(pipeline_source(sim, 's1', queue, 1, 1 * MS, 0.0,
+                                      counter, n_source_threads=2,
+                                      next_stage_threads=1))
+        second = drain(pipeline_source(sim, 's2', queue, 1, 1 * MS, 0.0,
+                                       counter, n_source_threads=2,
+                                       next_stage_threads=1))
+        stops_first = [a for a in first if isinstance(a, QueuePut)
+                       and a.item is PIPELINE_STOP]
+        stops_second = [a for a in second if isinstance(a, QueuePut)
+                        and a.item is PIPELINE_STOP]
+        assert len(stops_first) == 0
+        assert len(stops_second) == 1

@@ -1,0 +1,189 @@
+"""Tests for benchmark profiles, the workload driver, programs,
+servers, and hogs."""
+
+import pytest
+
+from repro.simkernel import Simulator
+from repro.simkernel.units import MS, SEC, US
+from repro.workloads import (
+    ALL_PROFILES,
+    ApacheBenchWorkload,
+    HogWorkload,
+    NPB,
+    ParallelWorkload,
+    PARSEC,
+    SpecJbbWorkload,
+    get_profile,
+    profile_variant,
+)
+from repro.workloads.suites import (
+    KIND_BARRIER,
+    KIND_PIPELINE,
+    KIND_WORKSTEAL,
+    MODE_BLOCK,
+    MODE_SPIN,
+)
+
+from conftest import single_vm_machine
+
+
+class TestProfiles:
+    def test_all_parsec_present(self):
+        expected = {'blackscholes', 'bodytrack', 'canneal', 'dedup',
+                    'facesim', 'ferret', 'fluidanimate', 'raytrace',
+                    'streamcluster', 'swaptions', 'vips', 'x264'}
+        assert set(PARSEC) == expected
+
+    def test_all_npb_present(self):
+        expected = {'BT', 'CG', 'EP', 'FT', 'IS', 'LU', 'MG', 'SP', 'UA'}
+        assert set(NPB) == expected
+
+    def test_parsec_is_blocking(self):
+        assert all(p.mode == MODE_BLOCK for p in PARSEC.values())
+
+    def test_npb_spins_except_ep(self):
+        for name, profile in NPB.items():
+            if name == 'EP':
+                assert profile.mode == MODE_BLOCK
+            else:
+                assert profile.mode == MODE_SPIN
+
+    def test_spinning_profiles_have_region_boundaries(self):
+        for name, profile in NPB.items():
+            if profile.mode == MODE_SPIN:
+                assert profile.region_every > 0
+
+    def test_get_profile_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_profile('doom3')
+
+    def test_variant_overrides(self):
+        mg = get_profile('MG')
+        blocking_mg = profile_variant(mg, mode=MODE_BLOCK)
+        assert blocking_mg.mode == MODE_BLOCK
+        assert blocking_mg.phase_ns == mg.phase_ns
+        assert mg.mode == MODE_SPIN          # original untouched
+
+    def test_raytrace_is_work_stealing(self):
+        assert get_profile('raytrace').kind == KIND_WORKSTEAL
+
+    def test_pipeline_profiles(self):
+        assert get_profile('dedup').stages == 4
+        assert get_profile('ferret').stages == 5
+
+
+class TestParallelWorkloadRuns:
+    def _run(self, sim, name, scale=0.05, n_vcpus=4, timeout=30 * SEC):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=n_vcpus,
+                                                n_vcpus=n_vcpus)
+        workload = ParallelWorkload(sim, kernel, get_profile(name),
+                                    scale=scale).install()
+        sim.run_until(timeout)
+        return workload
+
+    @pytest.mark.parametrize('name', sorted(ALL_PROFILES))
+    def test_every_profile_completes_uncontended(self, sim, name):
+        workload = self._run(sim, name)
+        assert workload.is_done, '%s never finished' % name
+        assert workload.makespan_ns() > 0
+
+    def test_progress_events_count(self, sim):
+        workload = self._run(sim, 'streamcluster', scale=0.1)
+        assert workload.progress_events > 0
+        assert workload.progress_rate(workload.done_at) > 0
+
+    def test_repeat_mode_never_finishes(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=2, n_vcpus=2)
+        workload = ParallelWorkload(sim, kernel, get_profile('streamcluster'),
+                                    repeat=True, scale=0.05).install()
+        sim.run_until(2 * SEC)
+        assert not workload.is_done
+        assert workload.progress_events > 10
+
+    def test_repeat_rejected_for_worksteal(self, sim):
+        machine, vm, kernel = single_vm_machine(sim)
+        workload = ParallelWorkload(sim, kernel, get_profile('raytrace'),
+                                    repeat=True)
+        with pytest.raises(ValueError):
+            workload.install()
+
+    def test_repeat_rejected_for_pipeline(self, sim):
+        machine, vm, kernel = single_vm_machine(sim)
+        workload = ParallelWorkload(sim, kernel, get_profile('dedup'),
+                                    repeat=True)
+        with pytest.raises(ValueError):
+            workload.install()
+
+    def test_pipeline_spawns_stage_grid(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=4, n_vcpus=4)
+        workload = ParallelWorkload(sim, kernel, get_profile('dedup'),
+                                    scale=0.02).install()
+        assert len(workload.tasks) == 4 * 4  # stages x threads
+        sim.run_until(30 * SEC)
+        assert workload.is_done                # stop tokens propagate
+
+    def test_worksteal_balances_across_threads(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=4, n_vcpus=4)
+        workload = ParallelWorkload(sim, kernel, get_profile('raytrace'),
+                                    scale=0.1).install()
+        sim.run_until(30 * SEC)
+        assert workload.is_done
+        times = [t.cpu_ns for t in workload.tasks]
+        assert max(times) < 2 * (sum(times) / len(times))
+
+    def test_scale_shrinks_work(self, sim):
+        small = self._run(sim, 'blackscholes', scale=0.05)
+        sim2 = Simulator(seed=42)
+        large = Simulator(seed=42)
+        machine, vm, kernel = single_vm_machine(large, n_pcpus=4, n_vcpus=4)
+        big = ParallelWorkload(large, kernel, get_profile('blackscholes'),
+                               scale=0.2).install()
+        large.run_until(60 * SEC)
+        assert big.is_done
+        assert big.makespan_ns() > small.makespan_ns()
+
+
+class TestServers:
+    def test_specjbb_measures_throughput_and_latency(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=4, n_vcpus=4)
+        server = SpecJbbWorkload(sim, kernel).install()
+        sim.run_until(2 * SEC)
+        assert server.completed > 100
+        assert server.throughput() > 100
+        summary = server.latency.summary()
+        assert 0 < summary['p50'] <= summary['p99']
+
+    def test_specjbb_warehouses_default_to_vcpus(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=4, n_vcpus=4)
+        server = SpecJbbWorkload(sim, kernel).install()
+        assert len(server.tasks) == 4
+
+    def test_ab_many_threads(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=2, n_vcpus=2)
+        server = ApacheBenchWorkload(sim, kernel, n_threads=64).install()
+        sim.run_until(2 * SEC)
+        assert len(server.tasks) == 64
+        assert server.completed > 100
+        # With 64 threads on 2 vCPUs, latency >> service time.
+        assert server.latency.p50() > 10 * MS
+
+    def test_specjbb_lock_contention_counted(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=4, n_vcpus=4)
+        server = SpecJbbWorkload(sim, kernel).install()
+        sim.run_until(2 * SEC)
+        # Every completed transaction acquired the order lock at least
+        # once (in-flight transactions may add a few more).
+        assert server.order_lock.total_acquires >= server.completed
+
+
+class TestHogs:
+    def test_hogs_consume_cpu(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=2, n_vcpus=2)
+        hogs = HogWorkload(sim, kernel, count=2).install()
+        sim.run_until(1 * SEC)
+        assert hogs.consumed_ns() > 1.9 * SEC
+
+    def test_hog_count(self, sim):
+        machine, vm, kernel = single_vm_machine(sim, n_pcpus=2, n_vcpus=2)
+        hogs = HogWorkload(sim, kernel, count=3).install()
+        assert len(hogs.tasks) == 3
