@@ -6,7 +6,7 @@ guests (Section 4.1), and the ping-pong-avoiding wakeup rule enabled
 (Section 3.3 / Figure 4).
 """
 
-from ..simkernel.units import US
+from ..simkernel.units import MS, US
 
 
 class IRSConfig:
@@ -23,11 +23,18 @@ class IRSConfig:
     def __init__(self, sa_handler_min_ns=20 * US, sa_handler_max_ns=26 * US,
                  sa_hard_limit_ns=200 * US, migrator_kick_ns=3 * US,
                  wakeup_preempt_tagged=True, prefer_idle_vcpu=True,
-                 migrator_policy='idle_first'):
+                 migrator_policy='idle_first', degradation_enabled=False,
+                 sa_ack_retries=2, sa_retry_backoff_ns=50 * US,
+                 sa_health_threshold=3, sa_health_backoff_ns=5 * MS,
+                 migrator_retries=2, migrator_retry_ns=50 * US):
         if sa_handler_min_ns > sa_handler_max_ns:
             raise ValueError('sa handler min > max')
         if migrator_policy not in self.MIGRATOR_POLICIES:
             raise ValueError('unknown migrator policy %r' % migrator_policy)
+        if sa_ack_retries < 0 or migrator_retries < 0:
+            raise ValueError('retry counts must be >= 0')
+        if sa_health_threshold < 1:
+            raise ValueError('sa_health_threshold must be >= 1')
         # Guest-side SA processing time (vIRQ handling + one context
         # switch), sampled uniformly per activation.
         self.sa_handler_min_ns = sa_handler_min_ns
@@ -45,3 +52,24 @@ class IRSConfig:
         self.prefer_idle_vcpu = prefer_idle_vcpu
         # Target-selection policy; non-default values are ablations.
         self.migrator_policy = migrator_policy
+        # --- Graceful degradation (fault tolerance) ------------------
+        # Master switch for every defense below. Off by default so the
+        # fault-free reproduction stays bit-identical to the paper
+        # figures; the harness enables it automatically whenever a
+        # fault plan is active.
+        self.degradation_enabled = degradation_enabled
+        # On an SA-ack timeout, re-send the upcall up to this many
+        # times, with exponential backoff starting here, before forcing
+        # the preemption through.
+        self.sa_ack_retries = sa_ack_retries
+        self.sa_retry_backoff_ns = sa_retry_backoff_ns
+        # Per-VM SA-health watchdog: after this many *consecutive*
+        # exhausted offers the sender falls back to vanilla preemption
+        # for the VM, re-arming after the backoff period.
+        self.sa_health_threshold = sa_health_threshold
+        self.sa_health_backoff_ns = sa_health_backoff_ns
+        # Migrator requeue policy: on a stale/erroring probe or a
+        # mid-move failure, retry the move this many times (spaced by
+        # migrator_retry_ns) before parking the task back home.
+        self.migrator_retries = migrator_retries
+        self.migrator_retry_ns = migrator_retry_ns

@@ -10,10 +10,71 @@ guest with no activation already pending, the sender:
    ``HYPERVISOR_sched_op`` (the scheduler parks the context switch),
 4. arms a hard-limit timeout so a rogue or wedged guest cannot hold the
    pCPU hostage (Section 4.1).
+
+Graceful degradation (``IRSConfig.degradation_enabled``): when the
+notification channel is unreliable — upcalls lost, acks swallowed — the
+timeout no longer silently wastes the grace window every slice. An
+exhausted offer is first *retried* (the upcall is re-sent with
+exponential backoff, still bounded), and a per-VM
+:class:`SaHealthWatchdog` tracks consecutive failures; past a threshold
+the sender stops offering activations to that VM entirely — vanilla
+preemption, the behaviour IRS gracefully degrades *to* — and re-arms
+after a backoff period so a recovered channel wins the protocol back.
 """
 
 from ..hypervisor.channels import VIRQ_SA_UPCALL
 from .config import IRSConfig
+
+
+class SaHealthWatchdog:
+    """Per-VM health of the SA notification channel.
+
+    Consecutive exhausted offers (all retries timed out) trip the VM
+    into a *degraded* window during which :meth:`allow` is False and
+    preemptions proceed vanilla-style. The window re-arms
+    automatically: after ``sa_health_backoff_ns`` the next offer is
+    allowed through as a probe, and one acknowledged activation resets
+    the failure count entirely.
+    """
+
+    def __init__(self, sim, config):
+        self.sim = sim
+        self.config = config
+        self._failures = {}        # vm -> consecutive exhausted offers
+        self._degraded_until = {}  # vm -> time the fallback window ends
+        self.fallbacks = 0         # degraded windows opened
+        self.rearms = 0            # windows that expired (channel retried)
+
+    def allow(self, vm):
+        """May the sender offer an activation to ``vm`` right now?"""
+        until = self._degraded_until.get(vm)
+        if until is None:
+            return True
+        if self.sim.now >= until:
+            # Window over: re-arm, let the next offer probe the channel.
+            del self._degraded_until[vm]
+            self.rearms += 1
+            self.sim.trace.count('irs.sa_health_rearms')
+            return True
+        return False
+
+    def record_success(self, vm):
+        self._failures[vm] = 0
+
+    def record_failure(self, vm):
+        count = self._failures.get(vm, 0) + 1
+        self._failures[vm] = count
+        if count >= self.config.sa_health_threshold:
+            self._failures[vm] = 0
+            self._degraded_until[vm] = (self.sim.now +
+                                        self.config.sa_health_backoff_ns)
+            self.fallbacks += 1
+            self.sim.trace.count('irs.sa_health_fallbacks')
+
+    def is_degraded(self, vm):
+        """True while ``vm`` is inside a vanilla-fallback window."""
+        until = self._degraded_until.get(vm)
+        return until is not None and self.sim.now < until
 
 
 class SaSender:
@@ -23,10 +84,15 @@ class SaSender:
         self.sim = sim
         self.machine = machine
         self.config = config or IRSConfig()
+        self.health = SaHealthWatchdog(sim, self.config)
         self._timeouts = {}          # vcpu -> Event
         self._offer_times = {}       # vcpu -> offer timestamp
+        self._attempts = {}          # vcpu -> re-sends for current offer
         self.sent = 0
         self.timed_out = 0
+        self.retried = 0
+        self.suppressed = 0          # offers skipped while degraded
+        self.duplicate_acks = 0
         # Observed preemption-delay samples (offer -> acknowledgement),
         # the Section 3.1 "20-26 us" profile.
         self.delay_samples_ns = []
@@ -47,6 +113,12 @@ class SaSender:
         if gcpu.current is None:
             # Nothing to migrate; a plain preemption costs nothing.
             return False
+        if self.config.degradation_enabled and not self.health.allow(vcpu.vm):
+            # Watchdog says the SA channel is unhealthy: degrade to a
+            # vanilla preemption instead of burning the grace window.
+            self.suppressed += 1
+            self.sim.trace.count('irs.sa_suppressed')
+            return False
         vcpu.sa_pending = True
         self.sent += 1
         self._offer_times[vcpu] = self.sim.now
@@ -58,26 +130,53 @@ class SaSender:
 
     def acknowledge(self, vcpu):
         """Guest acknowledged: clear the pending flag so the next round
-        of SA can fire (Algorithm 1 line 16)."""
+        of SA can fire (Algorithm 1 line 16). A duplicate ack (no offer
+        outstanding) is counted and otherwise ignored."""
+        if not vcpu.sa_pending and vcpu not in self._timeouts:
+            self.duplicate_acks += 1
+            self.sim.trace.count('irs.sa_dup_acks')
+            return
         vcpu.sa_pending = False
+        self._attempts.pop(vcpu, None)
         offered_at = self._offer_times.pop(vcpu, None)
         if offered_at is not None:
             self.delay_samples_ns.append(self.sim.now - offered_at)
         timeout = self._timeouts.pop(vcpu, None)
         if timeout is not None:
             timeout.cancel()
+        self.health.record_success(vcpu.vm)
 
     def _hard_limit(self, vcpu):
-        """The guest never answered: force the preemption through."""
+        """The guest never answered within the grace window: retry the
+        upcall (degradation path) or force the preemption through."""
         self._timeouts.pop(vcpu, None)
-        self._offer_times.pop(vcpu, None)
         if not vcpu.sa_pending:
+            self._offer_times.pop(vcpu, None)
+            self._attempts.pop(vcpu, None)
             return
+        pcpu = vcpu.pcpu
+        deferred = pcpu.preempt_deferred and pcpu.current is vcpu
+        attempts = self._attempts.get(vcpu, 0)
+        if (self.config.degradation_enabled and deferred
+                and attempts < self.config.sa_ack_retries):
+            # Retry-with-backoff: the upcall (or its ack) may have been
+            # lost; re-send and extend the window exponentially.
+            self._attempts[vcpu] = attempts + 1
+            self.retried += 1
+            self.sim.trace.count('irs.sa_retries')
+            backoff = self.config.sa_retry_backoff_ns << attempts
+            self._timeouts[vcpu] = self.sim.after(
+                backoff, self._hard_limit, vcpu)
+            self.machine.channels.send_virq(vcpu, VIRQ_SA_UPCALL)
+            return
+        self._offer_times.pop(vcpu, None)
+        self._attempts.pop(vcpu, None)
         vcpu.sa_pending = False
         self.timed_out += 1
         self.sim.trace.count('irs.sa_timeouts')
-        pcpu = vcpu.pcpu
-        if pcpu.preempt_deferred and pcpu.current is vcpu:
+        if self.config.degradation_enabled:
+            self.health.record_failure(vcpu.vm)
+        if deferred:
             if vcpu.gcpu is not None:
                 vcpu.gcpu.in_sa_handler = False
             self.machine.scheduler.complete_deferred_preemption(

@@ -13,7 +13,9 @@ import argparse
 import sys
 import time
 
+from ..faults import CAMPAIGNS, parse_fault_plan
 from .figures import ALL_FIGURES
+from .harness import set_default_fault_plan
 from .reporting import format_table
 from .spec import run_spec_file
 
@@ -52,7 +54,7 @@ def main(argv=None):
         description='Regenerate the evaluation figures of "Scheduler '
                     'Activations for Interference-Resilient SMP Virtual '
                     'Machine Scheduling" (Middleware 2017).')
-    parser.add_argument('figure',
+    parser.add_argument('figure', nargs='?',
                         help="figure name (e.g. fig5), 'all', 'list', or "
                              'a path to a JSON experiment spec')
     parser.add_argument('--full', action='store_true',
@@ -60,7 +62,24 @@ def main(argv=None):
                              'default is 1 seed at reduced scale')
     parser.add_argument('--out', metavar='FILE',
                         help='append tables to FILE instead of stdout')
+    parser.add_argument('--faults', metavar='CAMPAIGN',
+                        help='run every experiment under a named fault '
+                             "campaign (comma-separated to combine, e.g. "
+                             "'sa-loss-30' or 'sa-loss-10,flaky-migrator-20'"
+                             "); 'list' prints the registry")
     args = parser.parse_args(argv)
+
+    if args.faults == 'list':
+        for name, factory in sorted(CAMPAIGNS.items()):
+            print('%-18s %s' % (name, factory().description))
+        return 0
+    if args.faults:
+        try:
+            set_default_fault_plan(parse_fault_plan(args.faults))
+        except ValueError as exc:
+            parser.error('%s; --faults=list shows the registry' % exc)
+    if args.figure is None:
+        parser.error('the following arguments are required: figure')
 
     if args.figure == 'list':
         for name, fn in ALL_FIGURES.items():

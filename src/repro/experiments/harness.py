@@ -6,6 +6,7 @@ strategy, installs workloads, and executes to completion or to a fixed
 duration.
 """
 
+from ..core import IRSConfig
 from ..metrics import RunMetrics, utilization_vs_fair_share
 from ..simkernel.units import MS, SEC
 from ..workloads import (
@@ -21,6 +22,41 @@ from .topology import NO_INTERFERENCE, InterferenceSpec, build_scenario
 
 DEFAULT_TIMEOUT_NS = 240 * SEC
 _RUN_CHUNK_NS = 50 * MS
+
+# Fault plan applied to every run that does not pass ``fault_plan``
+# explicitly; set from the CLI's ``--faults`` flag. None = reliable
+# machine, the bit-identical reproduction path.
+_default_fault_plan = None
+
+
+def set_default_fault_plan(plan):
+    """Install ``plan`` (a :class:`repro.faults.FaultPlan` or None) as
+    the campaign for every subsequent run. Returns the previous plan."""
+    global _default_fault_plan
+    previous = _default_fault_plan
+    _default_fault_plan = plan
+    return previous
+
+
+def default_fault_plan():
+    """The currently installed default fault plan (or None)."""
+    return _default_fault_plan
+
+
+def _arm_faults(scenario, fault_plan, strategy, irs_config):
+    """Attach the fault plan (explicit or default) to a freshly built
+    scenario. Returns the effective ``(injector, irs_config)`` — when a
+    campaign is active and the caller did not pin an IRS config, the
+    graceful-degradation defenses are switched on, since measuring an
+    unreliable channel with the defenses off is an ablation, not the
+    default."""
+    plan = fault_plan if fault_plan is not None else _default_fault_plan
+    if plan is None:
+        return None, irs_config
+    injector = plan.build(scenario.sim).attach(scenario.machine)
+    if irs_config is None and strategy in (IRS, DELAY_PREEMPT):
+        irs_config = IRSConfig(degradation_enabled=True)
+    return injector, irs_config
 
 
 class ParallelRunResult:
@@ -50,12 +86,18 @@ class ParallelRunResult:
 def run_parallel(app, strategy='vanilla', interference=NO_INTERFERENCE,
                  seed=0, n_pcpus=4, fg_vcpus=4, n_threads=None, pinned=True,
                  scale=1.0, timeout_ns=DEFAULT_TIMEOUT_NS, irs_config=None,
-                 profile=None):
+                 profile=None, fault_plan=None):
     """Run one parallel benchmark under one strategy and interference
-    level; measure makespan, utilization, and background progress."""
+    level; measure makespan, utilization, and background progress.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) subjects the run
+    to a deterministic fault campaign; when omitted, the CLI-installed
+    default plan (``--faults``) applies, and with neither the machine
+    is perfectly reliable."""
     scenario = build_scenario(seed=seed, n_pcpus=n_pcpus, fg_vcpus=fg_vcpus,
                               interference=interference, pinned=pinned,
                               scale=scale)
+    __, irs_config = _arm_faults(scenario, fault_plan, strategy, irs_config)
     irs_kernels = ([scenario.fg_kernel]
                    if strategy in (IRS, DELAY_PREEMPT) else ())
     apply_strategy(scenario.machine, strategy, irs_kernels=irs_kernels,
@@ -104,13 +146,14 @@ class ServerRunResult:
 
 def run_server(kind, strategy='vanilla', n_hogs=1, seed=0, n_pcpus=4,
                fg_vcpus=4, warmup_ns=300 * MS, measure_ns=2 * SEC,
-               irs_config=None, **server_kwargs):
+               irs_config=None, fault_plan=None, **server_kwargs):
     """Run a server workload (``'specjbb'`` or ``'ab'``) against N CPU
     hogs; measure steady-state throughput and latency."""
     interference = (InterferenceSpec('hogs', width=n_hogs) if n_hogs > 0
                     else NO_INTERFERENCE)
     scenario = build_scenario(seed=seed, n_pcpus=n_pcpus,
                               fg_vcpus=fg_vcpus, interference=interference)
+    __, irs_config = _arm_faults(scenario, fault_plan, strategy, irs_config)
     irs_kernels = ([scenario.fg_kernel]
                    if strategy in (IRS, DELAY_PREEMPT) else ())
     apply_strategy(scenario.machine, strategy, irs_kernels=irs_kernels,

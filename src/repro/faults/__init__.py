@@ -1,0 +1,38 @@
+"""Deterministic fault-injection plane.
+
+IRS assumes its notification path is perfectly reliable: a
+``VIRQ_SA_UPCALL`` precedes every involuntary preemption, the guest's
+acknowledgement beats the grace window, and the migrator's runstate
+probes are truthful. This package makes each of those assumptions
+breakable — deterministically, from named RNG streams that never
+perturb the model's existing streams — so the degradation behaviour of
+the protocol can be measured instead of assumed.
+
+* :class:`FaultSpec` — one composable fault (kind + probability +
+  filters);
+* :class:`FaultInjector` — the runtime hooked into the hypervisor's
+  channel / hypercall / migrator paths;
+* :class:`FaultPlan` — a named, reusable collection of specs;
+* :func:`get_campaign` / :data:`CAMPAIGNS` — the named fault campaigns
+  runnable from the experiments CLI via ``--faults=NAME``.
+"""
+
+from .injector import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    HypercallFaultError,
+)
+from .scenarios import CAMPAIGNS, get_campaign, parse_fault_plan
+
+__all__ = [
+    'CAMPAIGNS',
+    'FAULT_KINDS',
+    'FaultInjector',
+    'FaultPlan',
+    'FaultSpec',
+    'HypercallFaultError',
+    'get_campaign',
+    'parse_fault_plan',
+]

@@ -1,0 +1,185 @@
+"""Named fault campaigns, runnable from the experiments CLI.
+
+A campaign is a :class:`~repro.faults.injector.FaultPlan` factory. Use
+:func:`get_campaign` for one campaign or :func:`parse_fault_plan` for
+the CLI syntax — a comma-separated list of campaign names, merged into
+one plan::
+
+    python -m repro.experiments fig5 --faults=sa-loss-30
+    python -m repro.experiments fig5 --faults=sa-loss-10,stale-probes-20
+
+Percentage-parameterized campaigns accept any integer suffix
+(``sa-loss-37`` is a 37 % SA-upcall loss rate); the registry lists the
+canonical 10/30/50 points the resilience benchmark uses.
+"""
+
+from ..hypervisor.channels import VIRQ_SA_UPCALL
+from .injector import FaultPlan, FaultSpec
+
+US = 1_000
+MS = 1_000_000
+
+
+def _pct(value):
+    if not 0 <= value <= 100:
+        raise ValueError('percentage must be in [0, 100], got %r' % value)
+    return value / 100.0
+
+
+def sa_loss(pct):
+    """Lose ``pct`` % of SA upcalls outright (VIRQ_SA_UPCALL drops)."""
+    return FaultPlan(
+        'sa-loss-%d' % pct,
+        [FaultSpec('virq_drop', _pct(pct), virq=VIRQ_SA_UPCALL)],
+        '%d%% of SA upcalls are lost' % pct)
+
+
+def sa_delay(pct, min_ns=50 * US, max_ns=500 * US):
+    """Delay ``pct`` % of SA upcalls by 50-500 us (past the handler
+    budget, flirting with the grace window)."""
+    return FaultPlan(
+        'sa-delay-%d' % pct,
+        [FaultSpec('virq_delay', _pct(pct), virq=VIRQ_SA_UPCALL,
+                   delay_min_ns=min_ns, delay_max_ns=max_ns)],
+        '%d%% of SA upcalls delayed 50-500us' % pct)
+
+
+def sa_dup(pct=20):
+    """Duplicate ``pct`` % of SA upcalls (at-least-once delivery)."""
+    return FaultPlan(
+        'sa-dup-%d' % pct,
+        [FaultSpec('virq_dup', _pct(pct), virq=VIRQ_SA_UPCALL)],
+        '%d%% of SA upcalls delivered twice' % pct)
+
+
+def sa_reorder(pct=20):
+    """Hold back ``pct`` % of SA upcalls until the next vIRQ for the
+    same vCPU (delivery reordering)."""
+    return FaultPlan(
+        'sa-reorder-%d' % pct,
+        [FaultSpec('virq_reorder', _pct(pct), virq=VIRQ_SA_UPCALL)],
+        '%d%% of SA upcalls reordered' % pct)
+
+
+def virq_chaos(pct=10):
+    """Drop, delay, duplicate, and reorder *all* vIRQ traffic at
+    ``pct`` % each — the full unreliable-channel model."""
+    p = _pct(pct)
+    return FaultPlan(
+        'virq-chaos-%d' % pct,
+        [FaultSpec('virq_drop', p),
+         FaultSpec('virq_delay', p, delay_min_ns=10 * US,
+                   delay_max_ns=300 * US),
+         FaultSpec('virq_dup', p),
+         FaultSpec('virq_reorder', p)],
+        'all vIRQs dropped/delayed/duplicated/reordered at %d%%' % pct)
+
+
+def stale_probes(pct=30):
+    """``pct`` % of VCPUOP_get_runstate probes return the previously
+    observed runstate (migrator sees a stale world)."""
+    return FaultPlan(
+        'stale-probes-%d' % pct,
+        [FaultSpec('runstate_stale', _pct(pct))],
+        '%d%% of runstate probes are stale' % pct)
+
+
+def probe_errors(pct=10):
+    """``pct`` % of runstate probes fail with a hypercall error."""
+    return FaultPlan(
+        'probe-errors-%d' % pct,
+        [FaultSpec('runstate_error', _pct(pct))],
+        '%d%% of runstate probes error out' % pct)
+
+
+def flaky_migrator(pct=20):
+    """``pct`` % of IRS migrations die mid-move."""
+    return FaultPlan(
+        'flaky-migrator-%d' % pct,
+        [FaultSpec('migrator_fail', _pct(pct))],
+        '%d%% of IRS migrations fail mid-move' % pct)
+
+
+def ack_loss(pct=20):
+    """``pct`` % of SA acknowledgements are lost, forcing the sender's
+    grace-window timeout (and retry path) to fire."""
+    return FaultPlan(
+        'ack-loss-%d' % pct,
+        [FaultSpec('sa_ack_timeout', _pct(pct))],
+        '%d%% of SA acks lost past the grace window' % pct)
+
+
+def full_chaos():
+    """Everything at once, at moderate rates: the torture campaign the
+    sanitizer job runs against."""
+    return FaultPlan(
+        'full-chaos',
+        [FaultSpec('virq_drop', 0.15, virq=VIRQ_SA_UPCALL),
+         FaultSpec('virq_delay', 0.10, delay_min_ns=20 * US,
+                   delay_max_ns=400 * US),
+         FaultSpec('virq_dup', 0.10),
+         FaultSpec('virq_reorder', 0.10),
+         FaultSpec('runstate_stale', 0.20),
+         FaultSpec('runstate_error', 0.05),
+         FaultSpec('migrator_fail', 0.10),
+         FaultSpec('sa_ack_timeout', 0.10)],
+        'combined loss/delay/dup/reorder/stale/error/migrator/ack faults')
+
+
+#: Canonical campaign registry: name -> zero-argument factory.
+CAMPAIGNS = {
+    'sa-loss-10': lambda: sa_loss(10),
+    'sa-loss-30': lambda: sa_loss(30),
+    'sa-loss-50': lambda: sa_loss(50),
+    'sa-delay-20': lambda: sa_delay(20),
+    'sa-dup-20': lambda: sa_dup(20),
+    'sa-reorder-20': lambda: sa_reorder(20),
+    'virq-chaos-10': lambda: virq_chaos(10),
+    'stale-probes-30': lambda: stale_probes(30),
+    'probe-errors-10': lambda: probe_errors(10),
+    'flaky-migrator-20': lambda: flaky_migrator(20),
+    'ack-loss-20': lambda: ack_loss(20),
+    'full-chaos': full_chaos,
+}
+
+# name-prefix -> percentage-parameterized factory.
+_PARAMETRIC = {
+    'sa-loss': sa_loss,
+    'sa-delay': sa_delay,
+    'sa-dup': sa_dup,
+    'sa-reorder': sa_reorder,
+    'virq-chaos': virq_chaos,
+    'stale-probes': stale_probes,
+    'probe-errors': probe_errors,
+    'flaky-migrator': flaky_migrator,
+    'ack-loss': ack_loss,
+}
+
+
+def get_campaign(name):
+    """Resolve one campaign name to a :class:`FaultPlan`.
+
+    Exact registry names win; otherwise ``<prefix>-<pct>`` resolves
+    through the parameterized factories (``sa-loss-37``)."""
+    if name in CAMPAIGNS:
+        return CAMPAIGNS[name]()
+    prefix, __, suffix = name.rpartition('-')
+    if prefix in _PARAMETRIC and suffix.isdigit():
+        return _PARAMETRIC[prefix](int(suffix))
+    raise ValueError('unknown fault campaign %r; known: %s'
+                     % (name, ', '.join(sorted(CAMPAIGNS))))
+
+
+def parse_fault_plan(text):
+    """Parse the CLI ``--faults`` value: a comma-separated list of
+    campaign names merged into one plan. Returns None for ''/None."""
+    if not text:
+        return None
+    plan = None
+    for name in text.split(','):
+        name = name.strip()
+        if not name:
+            continue
+        campaign = get_campaign(name)
+        plan = campaign if plan is None else plan.merged_with(campaign)
+    return plan

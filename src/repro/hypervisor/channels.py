@@ -4,6 +4,11 @@ Models the slice of Xen's event-channel machinery IRS needs (Section
 4.1): a dedicated per-vCPU virtual interrupt line. A vIRQ sent to a
 running vCPU is delivered immediately; one sent to a descheduled vCPU
 pends and is delivered when the vCPU is next dispatched.
+
+When a fault injector (:mod:`repro.faults`) is attached to the machine,
+every send crosses the fault plane first, which may drop, delay,
+duplicate, or reorder the interrupt; :meth:`EventChannels.deliver` is
+the truthful delivery primitive the injector calls back into.
 """
 
 VIRQ_SA_UPCALL = 'VIRQ_SA_UPCALL'
@@ -13,11 +18,24 @@ VIRQ_TIMER = 'VIRQ_TIMER'
 class EventChannels:
     """Routes virtual interrupts to guest kernels."""
 
-    def __init__(self, sim):
+    def __init__(self, sim, machine=None):
         self.sim = sim
+        self.machine = machine
 
     def send_virq(self, vcpu, virq):
-        """Deliver ``virq`` to ``vcpu``, pending it if not running."""
+        """Deliver ``virq`` to ``vcpu``, pending it if not running.
+        Routed through the fault injector when one is attached."""
+        injector = (self.machine.fault_injector
+                    if self.machine is not None else None)
+        if injector is not None:
+            injector.on_virq(self, vcpu, virq)
+        else:
+            self.deliver(vcpu, virq)
+
+    def deliver(self, vcpu, virq):
+        """Actually deliver ``virq`` (immediately or pended) — the
+        fault-free path, also used by the injector for the copies that
+        survive the fault plane."""
         guest = vcpu.vm.guest
         if guest is None:
             # No guest attached: the interrupt vanishes, like a domain

@@ -32,6 +32,11 @@ class HypercallInterface:
         if pcpu.preempt_deferred and pcpu.current is vcpu:
             # SA acknowledgement path: clear the pending flag and let
             # the parked preemption complete with the requested state.
+            injector = self._machine.fault_injector
+            if injector is not None and injector.sa_ack_lost(vcpu):
+                # Injected fault: the ack never reaches the hypervisor.
+                # The sender's grace-window timeout will fire instead.
+                return
             if self._machine.sa_sender is not None:
                 self._machine.sa_sender.acknowledge(vcpu)
             scheduler.complete_deferred_preemption(
@@ -46,7 +51,14 @@ class HypercallInterface:
 
     def vcpu_op_get_runstate(self, vcpu):
         """``HYPERVISOR_vcpu_op(VCPUOP_get_runstate_info)``: the true
-        runstate of ``vcpu`` — 'running', 'runnable' or 'blocked'."""
+        runstate of ``vcpu`` — 'running', 'runnable' or 'blocked'.
+
+        With a fault injector attached the probe may return a stale
+        observation or raise
+        :class:`~repro.faults.injector.HypercallFaultError`."""
+        injector = self._machine.fault_injector
+        if injector is not None:
+            return injector.on_runstate_probe(vcpu, vcpu.runstate)
         return vcpu.runstate
 
     def vcpu_is_preempted(self, vcpu):

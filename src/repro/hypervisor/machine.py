@@ -29,7 +29,7 @@ class Machine:
         self.pcpus = [PCpu(i) for i in range(n_pcpus)]
         self.scheduler = CreditScheduler(sim, self,
                                          credit_config or CreditConfig())
-        self.channels = EventChannels(sim)
+        self.channels = EventChannels(sim, machine=self)
         self.hypercalls = HypercallInterface(self)
         self.vms = []
 
@@ -39,6 +39,12 @@ class Machine:
         self.relaxed_co = None
         self.hv_balancer = None
         self.delay_preempt = None
+        # Deterministic fault-injection plane (repro.faults); None means
+        # every notification / probe / migration path is reliable.
+        self.fault_injector = None
+
+        if sim.sanitizer is not None:
+            sim.sanitizer.attach_machine(self)
 
     # ------------------------------------------------------------------
     # Strategy wiring
@@ -69,6 +75,10 @@ class Machine:
     def attach_sa_sender(self, sender):
         """Attach the IRS scheduler-activation sender."""
         self.sa_sender = sender
+
+    def attach_fault_injector(self, injector):
+        """Attach a deterministic fault injector (``repro.faults``)."""
+        self.fault_injector = injector
 
     # ------------------------------------------------------------------
     # VM lifecycle

@@ -29,7 +29,10 @@ class RelaxedCoScheduler:
         self.sim = sim
         self.machine = machine
         self.skew_threshold_ns = skew_threshold_ns
-        self.costopped = set()
+        # Insertion-ordered (dict-as-set): release order must not hang
+        # off object hashes, or runs stop being reproducible across
+        # processes.
+        self.costopped = {}
 
     def _progress_of(self, vcpu):
         run, __, blocked = vcpu.snapshot_accounting(self.sim.now)
@@ -68,14 +71,14 @@ class RelaxedCoScheduler:
         if vcpu.costopped:
             return
         vcpu.costopped = True
-        self.costopped.add(vcpu)
+        self.costopped[vcpu] = True
         self.sim.trace.count('relaxedco.costops')
         if vcpu.is_running:
             self.machine.scheduler.force_yield(vcpu)
 
     def _release(self, vcpu):
         vcpu.costopped = False
-        self.costopped.discard(vcpu)
+        self.costopped.pop(vcpu, None)
         pcpu = vcpu.pcpu
         if pcpu is not None and vcpu in pcpu.runq:
             self.machine.scheduler._tickle(pcpu)

@@ -3,7 +3,31 @@
 A :class:`RunMetrics` snapshot gathers, at the end of a simulated run,
 the quantities every experiment reports: per-VM runstate breakdowns,
 per-task CPU and migration counts, and machine-level utilization.
+
+When a run was subjected to a fault campaign (:mod:`repro.faults`),
+the snapshot also separates out the fault/degradation counters —
+injections per kind, SA retries/suppressions, migrator recoveries,
+sanitizer checks — under :attr:`RunMetrics.fault_counters` and
+:attr:`RunMetrics.degradation_counters`.
 """
+
+#: Trace-counter prefixes that belong to the fault plane (injections).
+FAULT_COUNTER_PREFIXES = ('faults.',)
+
+#: Trace-counter prefixes that belong to the defense layers: the SA
+#: sender's retry/watchdog path, the migrator's requeue path, and the
+#: runtime sanitizer.
+DEGRADATION_COUNTER_PREFIXES = (
+    'irs.sa_retries', 'irs.sa_suppressed', 'irs.sa_dup_acks',
+    'irs.sa_health_', 'irs.migrator_abort', 'irs.migrator_retr',
+    'irs.migrator_fail', 'irs.migrator_recover', 'irs.migrator_probe',
+    'irs.migrator_stranded', 'sanitizer.',
+)
+
+
+def _select(counters, prefixes):
+    return {name: value for name, value in sorted(counters.items())
+            if name.startswith(prefixes)}
 
 
 class VmMetrics:
@@ -54,6 +78,10 @@ class RunMetrics:
             for task in kernel.tasks:
                 self.tasks[task.name] = TaskMetrics(task)
         self.counters = dict(machine.sim.trace.counters)
+        self.fault_counters = _select(self.counters,
+                                      FAULT_COUNTER_PREFIXES)
+        self.degradation_counters = _select(self.counters,
+                                            DEGRADATION_COUNTER_PREFIXES)
         self.pcpu_busy_ns = [p.snapshot_busy(now) for p in machine.pcpus]
 
     def machine_utilization(self):

@@ -6,7 +6,13 @@ streams, and tracing used by every other subsystem.
 
 from .events import Event, EventQueue
 from .rng import RngRegistry
-from .simulation import SimulationError, Simulator
+from .sanitizer import (
+    Sanitizer,
+    SanitizerError,
+    Violation,
+    install_sanitizer,
+)
+from .simulation import LivelockError, SimulationError, Simulator
 from .tracing import TraceRecord, Tracer
 from .units import MICROSECOND, MILLISECOND, MS, NS, SEC, SECOND, US, format_ns
 
@@ -17,11 +23,16 @@ __all__ = [
     'MILLISECOND',
     'MS',
     'NS',
+    'LivelockError',
     'RngRegistry',
     'SEC',
+    'Sanitizer',
+    'SanitizerError',
     'SECOND',
     'SimulationError',
     'Simulator',
+    'Violation',
+    'install_sanitizer',
     'TraceRecord',
     'Tracer',
     'US',

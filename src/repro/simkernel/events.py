@@ -97,6 +97,21 @@ class EventQueue:
         self._live -= 1
         return event
 
+    def peek_events(self, n):
+        """The next ``n`` live events in firing order, without popping.
+
+        O(heap) — intended for diagnostics (livelock reports), not for
+        the hot path.
+        """
+        upcoming = []
+        for __, __, event in sorted(self._heap):
+            if event.cancelled:
+                continue
+            upcoming.append(event)
+            if len(upcoming) >= n:
+                break
+        return upcoming
+
     def _drop_cancelled_head(self):
         heap = self._heap
         while heap and heap[0][2].cancelled:

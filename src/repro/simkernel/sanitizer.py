@@ -1,0 +1,265 @@
+"""Runtime scheduler sanitizer — always-on invariant checking.
+
+An opt-in watchdog hooked into the simulator's event loop that asserts,
+at a configurable event interval, the structural invariants of the
+two-level scheduler:
+
+* a pCPU runs at most one vCPU, and a vCPU is dispatched on at most one
+  pCPU ("one-vCPU-per-pCPU");
+* a task is current on at most one guest CPU and queued on at most one
+  runqueue, and never both at once ("one-task-per-vCPU");
+* no task is lost or duplicated across migrations: every spawned task
+  is exactly one of current / queued / sleeping / migrating / exited;
+* the clock is monotone;
+* credits are conserved within the scheduler's clip band
+  ``[-credit_cap, credit_cap]``.
+
+Violations are reported as structured :class:`Violation` records naming
+the event whose processing broke the invariant — which is what makes
+fault campaigns debuggable: the report points at the injected fault (or
+the defense bug) directly, not at a corrupted end state thousands of
+events later.
+
+Usage::
+
+    sim = Simulator(seed=0)
+    sanitizer = install_sanitizer(sim, interval=1, mode='raise')
+    machine = Machine(sim, n_pcpus=4)   # attaches itself automatically
+    ...
+    sanitizer.assert_clean()
+
+``mode='raise'`` raises :class:`SanitizerError` at the first violation;
+``mode='collect'`` accumulates them in :attr:`Sanitizer.violations` so a
+test can assert on the whole report.
+"""
+
+from .simulation import SimulationError
+
+_TASK_STATES = ('running', 'ready', 'sleeping', 'migrating', 'exited')
+
+
+class Violation:
+    """One invariant violation, tied to the event that exposed it."""
+
+    __slots__ = ('time', 'invariant', 'message', 'event')
+
+    def __init__(self, time, invariant, message, event):
+        self.time = time
+        self.invariant = invariant
+        self.message = message
+        self.event = repr(event) if event is not None else '<initial state>'
+
+    def __repr__(self):
+        return '<Violation t=%d %s: %s after %s>' % (
+            self.time, self.invariant, self.message, self.event)
+
+    def format(self):
+        return ('[t=%d] invariant %r violated: %s\n'
+                '        breaking event: %s'
+                % (self.time, self.invariant, self.message, self.event))
+
+
+class SanitizerError(SimulationError):
+    """Raised in ``mode='raise'`` when an invariant check fails."""
+
+    def __init__(self, violation):
+        self.violation = violation
+        super().__init__(violation.format())
+
+
+class Sanitizer:
+    """Event-loop-hooked invariant checker over machines and guests."""
+
+    def __init__(self, sim, interval=1, mode='raise'):
+        if interval < 1:
+            raise ValueError('interval must be >= 1, got %r' % interval)
+        if mode not in ('raise', 'collect'):
+            raise ValueError("mode must be 'raise' or 'collect'")
+        self.sim = sim
+        self.interval = interval
+        self.mode = mode
+        self.machines = []
+        self.violations = []
+        self.checks = 0
+        self._countdown = interval
+        self._last_now = sim.now
+        self._hook = sim.add_post_event_hook(self._on_event)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach_machine(self, machine):
+        """Watch ``machine`` (and, transitively, every guest kernel
+        attached to its VMs). Called by ``Machine.__init__`` when the
+        simulator carries a sanitizer."""
+        if machine not in self.machines:
+            self.machines.append(machine)
+
+    def uninstall(self):
+        """Detach from the simulator's event loop."""
+        self.sim.remove_post_event_hook(self._hook)
+        if self.sim.sanitizer is self:
+            self.sim.sanitizer = None
+
+    # ------------------------------------------------------------------
+    # Event-loop hook
+    # ------------------------------------------------------------------
+
+    def _on_event(self, event):
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        self._countdown = self.interval
+        self.check_now(event)
+
+    def check_now(self, event=None):
+        """Run every invariant immediately (also callable from tests)."""
+        if event is None:
+            event = self.sim.last_event
+        self.checks += 1
+        self._check_clock(event)
+        for machine in self.machines:
+            self._check_machine(machine, event)
+        self.sim.trace.count('sanitizer.checks')
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def report(self):
+        """Human-readable multi-line report of every violation."""
+        if not self.violations:
+            return ('sanitizer: %d checks, no violations' % self.checks)
+        lines = ['sanitizer: %d checks, %d violation(s)'
+                 % (self.checks, len(self.violations))]
+        lines.extend(v.format() for v in self.violations)
+        return '\n'.join(lines)
+
+    def assert_clean(self):
+        """Raise :class:`SanitizerError` if any violation was recorded."""
+        if self.violations:
+            raise SanitizerError(self.violations[0])
+
+    def _fail(self, invariant, message, event):
+        violation = Violation(self.sim.now, invariant, message, event)
+        self.violations.append(violation)
+        self.sim.trace.count('sanitizer.violations')
+        if self.mode == 'raise':
+            raise SanitizerError(violation)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    def _check_clock(self, event):
+        if self.sim.now < self._last_now:
+            self._fail('clock_monotonic',
+                       'clock moved backwards: %d -> %d'
+                       % (self._last_now, self.sim.now), event)
+        self._last_now = self.sim.now
+
+    def _check_machine(self, machine, event):
+        self._check_hypervisor(machine, event)
+        cap = machine.scheduler.config.credit_cap
+        for vm in machine.vms:
+            for vcpu in vm.vcpus:
+                if not -cap <= vcpu.credits <= cap:
+                    self._fail('credit_conservation',
+                               '%s credits %d outside [-%d, %d]'
+                               % (vcpu.name, vcpu.credits, cap, cap), event)
+            if vm.guest is not None:
+                self._check_guest(vm.guest, event)
+
+    def _check_hypervisor(self, machine, event):
+        seen = set()
+        for pcpu in machine.pcpus:
+            current = pcpu.current
+            if current is not None:
+                if not (current.is_running or pcpu.preempt_deferred):
+                    self._fail('one_vcpu_per_pcpu',
+                               '%s dispatched on %s but runstate is %s'
+                               % (current.name, pcpu.name,
+                                  current.runstate), event)
+                if current in pcpu.runq:
+                    self._fail('one_vcpu_per_pcpu',
+                               '%s both dispatched and queued on %s'
+                               % (current.name, pcpu.name), event)
+                if id(current) in seen:
+                    self._fail('one_vcpu_per_pcpu',
+                               '%s dispatched on two pCPUs'
+                               % current.name, event)
+                seen.add(id(current))
+            for vcpu in pcpu.runq:
+                if not vcpu.is_runnable:
+                    self._fail('one_vcpu_per_pcpu',
+                               '%s queued on %s but runstate is %s'
+                               % (vcpu.name, pcpu.name, vcpu.runstate),
+                               event)
+                if id(vcpu) in seen:
+                    self._fail('one_vcpu_per_pcpu',
+                               '%s present in two places'
+                               % vcpu.name, event)
+                seen.add(id(vcpu))
+
+    def _check_guest(self, kernel, event):
+        current_tasks = set()
+        queued_tasks = set()
+        for gcpu in kernel.gcpus:
+            task = gcpu.current
+            if task is not None:
+                if task.state != 'running':
+                    self._fail('one_task_per_vcpu',
+                               '%s current on %s but state is %s'
+                               % (task.name, gcpu.name, task.state), event)
+                if id(task) in current_tasks:
+                    self._fail('one_task_per_vcpu',
+                               '%s current on two guest CPUs (double '
+                               'dispatch)' % task.name, event)
+                current_tasks.add(id(task))
+            for queued in gcpu.rq.tasks():
+                if queued.state != 'ready':
+                    self._fail('one_task_per_vcpu',
+                               '%s queued on %s but state is %s'
+                               % (queued.name, gcpu.name, queued.state),
+                               event)
+                if id(queued) in queued_tasks:
+                    self._fail('no_lost_or_dup_tasks',
+                               '%s queued on two runqueues (duplicated '
+                               'across migration)' % queued.name, event)
+                queued_tasks.add(id(queued))
+                if id(queued) in current_tasks:
+                    self._fail('no_task_queued_and_running',
+                               '%s both queued and running'
+                               % queued.name, event)
+        for task in kernel.tasks:
+            if task.state not in _TASK_STATES:
+                self._fail('no_lost_or_dup_tasks',
+                           '%s in unknown state %r'
+                           % (task.name, task.state), event)
+            elif task.state == 'running' and id(task) not in current_tasks:
+                self._fail('no_lost_or_dup_tasks',
+                           '%s claims to run but is current nowhere (lost '
+                           'across migration)' % task.name, event)
+            elif task.state == 'ready' and id(task) not in queued_tasks:
+                self._fail('no_lost_or_dup_tasks',
+                           '%s claims ready but is queued nowhere (lost '
+                           'across migration)' % task.name, event)
+
+
+def install_sanitizer(sim, interval=1, mode='raise', machines=()):
+    """Create a :class:`Sanitizer`, hook it into ``sim``'s event loop,
+    and publish it as ``sim.sanitizer`` so machines built afterwards
+    attach themselves. Machines that already exist can be passed in
+    ``machines``. An already-installed sanitizer is replaced (its
+    watched machines carry over). Returns the sanitizer."""
+    machines = list(machines)
+    previous = getattr(sim, 'sanitizer', None)
+    if previous is not None:
+        machines.extend(m for m in previous.machines if m not in machines)
+        previous.uninstall()
+    sanitizer = Sanitizer(sim, interval=interval, mode=mode)
+    sim.sanitizer = sanitizer
+    for machine in machines:
+        sanitizer.attach_machine(machine)
+    return sanitizer

@@ -16,6 +16,41 @@ class SimulationError(Exception):
     """Raised for structural errors in the simulation (e.g. time travel)."""
 
 
+class LivelockError(SimulationError):
+    """A run loop exhausted its ``max_events`` budget.
+
+    Carries a structured summary of the still-pending events so a
+    livelocking model (e.g. a fault campaign that keeps re-arming
+    retries) can be debugged from the exception alone.
+
+    Attributes:
+        limit: the exhausted ``max_events`` budget.
+        pending: number of live events left in the queue.
+        next_events: up to :attr:`SUMMARY_DEPTH` upcoming events
+            (firing order) as ``(time_ns, callback_name)`` pairs.
+    """
+
+    SUMMARY_DEPTH = 5
+
+    def __init__(self, limit, context, queue, now):
+        self.limit = limit
+        self.pending = len(queue)
+        self.next_events = [
+            (event.time, _callback_name(event.callback))
+            for event in queue.peek_events(self.SUMMARY_DEPTH)
+        ]
+        deadlines = ', '.join('t=%d %s' % pair for pair in self.next_events)
+        super().__init__(
+            'exceeded %d events %s (now=%d): %d events still pending'
+            '%s' % (limit, context, now, self.pending,
+                    '; next: ' + deadlines if deadlines else ''))
+
+
+def _callback_name(callback):
+    return getattr(callback, '__qualname__',
+                   getattr(callback, '__name__', repr(callback)))
+
+
 class Simulator:
     """Discrete-event simulation driver.
 
@@ -23,6 +58,9 @@ class Simulator:
         now: current simulation time in integer nanoseconds.
         rng: the :class:`RngRegistry` for all model randomness.
         trace: the :class:`Tracer` for counters and debug records.
+        sanitizer: optional runtime invariant checker (see
+            :mod:`repro.simkernel.sanitizer`); machines attach
+            themselves to it on construction when present.
     """
 
     def __init__(self, seed=0, trace=False, trace_categories=None):
@@ -32,6 +70,9 @@ class Simulator:
         self.trace = Tracer(enabled=trace, categories=trace_categories)
         self._stopped = False
         self._events_processed = 0
+        self._post_event_hooks = []
+        self._last_event = None
+        self.sanitizer = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -56,6 +97,28 @@ class Simulator:
         return self._queue.schedule(self.now, callback, *args)
 
     # ------------------------------------------------------------------
+    # Post-event hooks
+    # ------------------------------------------------------------------
+
+    def add_post_event_hook(self, hook):
+        """Register ``hook(event)`` to run after every processed event.
+
+        Used by the runtime sanitizer; hooks must not mutate model
+        state. Returns the hook for symmetry with removal."""
+        self._post_event_hooks.append(hook)
+        return hook
+
+    def remove_post_event_hook(self, hook):
+        """Unregister a hook added with :meth:`add_post_event_hook`."""
+        if hook in self._post_event_hooks:
+            self._post_event_hooks.remove(hook)
+
+    @property
+    def last_event(self):
+        """The most recently fired event (None before the first)."""
+        return self._last_event
+
+    # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
 
@@ -73,7 +136,11 @@ class Simulator:
                 'event at %d in the past (now %d)' % (event.time, self.now))
         self.now = event.time
         self._events_processed += 1
+        self._last_event = event
         event.callback(*event.args)
+        if self._post_event_hooks:
+            for hook in self._post_event_hooks:
+                hook(event)
         return True
 
     def run_until(self, end_time, max_events=None):
@@ -81,7 +148,8 @@ class Simulator:
         ``stop()`` is called. Returns the number of events processed.
 
         ``max_events`` is a safety valve for tests: exceeding it raises
-        :class:`SimulationError` (it indicates a livelock in the model).
+        :class:`LivelockError` with a summary of the pending events (it
+        indicates a livelock in the model).
         """
         processed = 0
         self._stopped = False
@@ -94,19 +162,22 @@ class Simulator:
                 break
             processed += 1
             if max_events is not None and processed > max_events:
-                raise SimulationError(
-                    'exceeded %d events before %d' % (max_events, end_time))
+                raise LivelockError(max_events, 'before %d' % end_time,
+                                    self._queue, self.now)
         return processed
 
     def run_until_idle(self, max_events=10_000_000):
-        """Run until no events remain (or ``stop()``). Returns event count."""
+        """Run until no events remain (or ``stop()``). Returns event count.
+
+        Exceeding ``max_events`` raises :class:`LivelockError` with the
+        pending-event summary."""
         processed = 0
         self._stopped = False
         while not self._stopped and self.step():
             processed += 1
             if processed > max_events:
-                raise SimulationError(
-                    'exceeded %d events while draining' % max_events)
+                raise LivelockError(max_events, 'while draining',
+                                    self._queue, self.now)
         return processed
 
     @property

@@ -1,11 +1,35 @@
-"""Shared test fixtures and builders."""
+"""Shared test fixtures and builders.
+
+Set ``REPRO_SANITIZER=1`` to run any test selection with the runtime
+scheduler sanitizer (:mod:`repro.simkernel.sanitizer`) hooked into
+every simulator at every event — the ``pytest -m sanitizer`` job does
+exactly that for the whole suite.
+"""
+
+import os
 
 import pytest
 
 from repro.guestos import GuestKernel
 from repro.hypervisor import Machine, VM
-from repro.simkernel import Simulator
+from repro.simkernel import Simulator, install_sanitizer
 from repro.simkernel.units import MS, SEC
+
+SANITIZE = os.environ.get('REPRO_SANITIZER', '') not in ('', '0')
+
+
+@pytest.fixture(autouse=SANITIZE)
+def _runtime_sanitizer(monkeypatch):
+    """With REPRO_SANITIZER=1, every Simulator a test builds gets a
+    raise-mode sanitizer checking invariants after each event."""
+    original = Simulator.__init__
+
+    def sanitized(self, *args, **kwargs):
+        original(self, *args, **kwargs)
+        install_sanitizer(self)
+
+    monkeypatch.setattr(Simulator, '__init__', sanitized)
+    yield
 
 
 @pytest.fixture

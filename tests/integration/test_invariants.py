@@ -15,6 +15,8 @@ structural invariants of the two-level scheduler must hold:
 from hypothesis import given, settings, strategies as st
 
 from repro.core import install_irs
+from repro.faults import FaultInjector, FaultSpec
+from repro.simkernel import install_sanitizer
 from repro.guestos.task import (
     TASK_EXITED,
     TASK_MIGRATING,
@@ -153,6 +155,39 @@ def test_invariants_hold_over_random_scenarios(params):
         check_hypervisor_invariants(machine)
         check_guest_invariants(kernel)
         check_time_conservation(machine, sim.now)
+
+
+FAULTED_SCENARIO = st.tuples(
+    st.integers(min_value=0, max_value=10_000),          # seed
+    st.integers(min_value=2, max_value=4),               # pcpus
+    st.sampled_from(['vanilla', 'irs']),
+    st.sampled_from(['mutex', 'barrier', 'sleep']),
+    st.integers(min_value=10, max_value=50),             # fault % rate
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(FAULTED_SCENARIO)
+def test_faulted_virqs_preserve_invariants(params):
+    """Injected vIRQ drops, reorders, and duplicates never corrupt the
+    scheduler's structural invariants — under VANILLA (where the fault
+    plane is a no-op control: no vIRQ traffic exists) and under IRS
+    (where every SA upcall crosses it). Checked both by the runtime
+    sanitizer at every event and by the end-state asserts."""
+    seed, n_pcpus, strategy, sync_kind, pct = params
+    sim, machine, kernel = build_random_scenario(
+        seed, n_pcpus, strategy, sync_kind, n_hogs=1)
+    rate = pct / 100.0
+    FaultInjector(sim, [FaultSpec('virq_drop', rate),
+                        FaultSpec('virq_reorder', rate),
+                        FaultSpec('virq_dup', rate)]).attach(machine)
+    sanitizer = install_sanitizer(sim, mode='collect', machines=[machine])
+    for __ in range(10):
+        sim.run_until(sim.now + 25 * MS, max_events=2_000_000)
+        check_hypervisor_invariants(machine)
+        check_guest_invariants(kernel)
+        check_time_conservation(machine, sim.now)
+    assert not sanitizer.violations, sanitizer.report()
 
 
 @settings(max_examples=10, deadline=None)

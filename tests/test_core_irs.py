@@ -255,6 +255,85 @@ class TestEndToEndBenefit:
         assert fg_run <= share * 1.05
 
 
+class TestGracefulDegradation:
+    """Sender retry/backoff and the per-VM SA-health watchdog
+    (``degradation_enabled=True``), across the four ack outcomes:
+    on time, late, never, duplicated."""
+
+    def test_ack_on_time_needs_no_retries(self, sim):
+        config = IRSConfig(degradation_enabled=True)
+        machine, vm, kernel, sender = irs_scenario(sim, config=config)
+        kernel.spawn('w', hog(), gcpu_index=0)
+        sim.run_until(500 * MS)
+        assert sender.sent > 0
+        assert sender.retried == 0
+        assert sender.timed_out == 0
+        assert sender.health.fallbacks == 0
+
+    def test_ack_late_recovered_by_retry_with_backoff(self, sim):
+        # Hard limit below the 20-26 us handler cost: the first grace
+        # window always expires mid-handler. The retry extends it and
+        # the late ack still lands — no forced preemption.
+        config = IRSConfig(degradation_enabled=True,
+                           sa_hard_limit_ns=10 * US,
+                           sa_retry_backoff_ns=100 * US)
+        machine, vm, kernel, sender = irs_scenario(sim, config=config)
+        kernel.spawn('w', hog(), gcpu_index=0)
+        sim.run_until(500 * MS)
+        assert sender.retried > 0
+        assert sender.timed_out == 0
+        assert sim.trace.counters['irs.sa_retries'] == sender.retried
+        # The acks that arrived were genuinely late (past the window).
+        assert sender.delay_samples_ns
+        assert max(sender.delay_samples_ns) > 10 * US
+
+    def test_ack_late_times_out_without_degradation(self, sim):
+        # Same setup, defense off: every offer burns the grace window.
+        config = IRSConfig(sa_hard_limit_ns=10 * US)
+        machine, vm, kernel, sender = irs_scenario(sim, config=config)
+        kernel.spawn('w', hog(), gcpu_index=0)
+        sim.run_until(500 * MS)
+        assert sender.retried == 0
+        assert sender.timed_out > 0
+
+    def test_ack_never_trips_watchdog_to_vanilla_and_rearms(self, sim):
+        # Fallback window longer than a 30 ms slice, so offers actually
+        # arrive (and are suppressed) while the VM is degraded.
+        config = IRSConfig(degradation_enabled=True,
+                           sa_hard_limit_ns=100 * US,
+                           sa_health_backoff_ns=200 * MS)
+        machine, vm, kernel, sender = irs_scenario(sim, config=config)
+        kernel.spawn('w', hog(), gcpu_index=0)
+        # Sabotage the receiver: upcalls vanish, acks never come.
+        kernel.sa_receiver.on_virq = lambda gcpu, virq: None
+        sim.run_until(1 * SEC)
+        # Retries were attempted, then offers exhausted...
+        assert sender.retried > 0
+        assert sender.timed_out > 0
+        # ...the watchdog fell back to vanilla preemption...
+        assert sender.health.fallbacks > 0
+        assert sender.suppressed > 0
+        # ...and re-armed to probe the channel again.
+        assert sender.health.rearms > 0
+        # Vanilla fallback keeps the machine fair: the hog still runs.
+        hog_run = machine.vms[1].total_runstate(sim.now)[0]
+        assert hog_run > 300 * MS
+
+    def test_duplicate_ack_counted_and_ignored(self, sim):
+        config = IRSConfig(degradation_enabled=True)
+        machine, vm, kernel, sender = irs_scenario(sim, config=config)
+        vcpu = vm.vcpus[0]
+        sender.acknowledge(vcpu)               # no offer outstanding
+        assert sender.duplicate_acks == 1
+        assert not vcpu.sa_pending
+        assert sim.trace.counters['irs.sa_dup_acks'] == 1
+        # The protocol is unharmed: offers and acks flow normally after.
+        kernel.spawn('w', hog(), gcpu_index=0)
+        sim.run_until(200 * MS)
+        assert sender.sent > 0
+        assert sender.delay_samples_ns
+
+
 class TestConfigValidation:
     def test_bad_handler_band_rejected(self):
         with pytest.raises(ValueError):

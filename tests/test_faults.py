@@ -1,0 +1,179 @@
+"""Unit tests for the deterministic fault-injection plane."""
+
+import pytest
+
+from repro.faults import (
+    CAMPAIGNS,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    HypercallFaultError,
+    get_campaign,
+    parse_fault_plan,
+)
+from repro.hypervisor.channels import VIRQ_SA_UPCALL
+from repro.simkernel import Simulator
+from repro.simkernel.units import MS, SEC, US
+
+from conftest import build_machine, build_vm
+from repro.core import IRSConfig, install_irs
+from repro.workloads import Compute
+
+
+def hog():
+    while True:
+        yield Compute(10 * MS)
+
+
+def faulted_irs_scenario(seed, plan, config=None):
+    sim = Simulator(seed=seed)
+    machine = build_machine(sim, 2)
+    fg_vm, kernel = build_vm(sim, machine, 'fg', n_vcpus=2, pinning=[0, 1])
+    __, hk = build_vm(sim, machine, 'hog', pinning=[0])
+    sender = install_irs(machine, [kernel],
+                         config or IRSConfig(degradation_enabled=True))
+    injector = plan.build(sim).attach(machine)
+    kernel.spawn('w', hog(), gcpu_index=0)
+    hk.spawn('hog', hog())
+    machine.start()
+    return sim, machine, kernel, sender, injector
+
+
+class TestSpecs:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec('cosmic_ray', 0.5)
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            FaultSpec('virq_drop', 1.5)
+        with pytest.raises(ValueError):
+            FaultSpec('virq_drop', -0.1)
+
+    def test_vm_and_virq_matching(self):
+        sim = Simulator(seed=0)
+        machine = build_machine(sim, 1)
+        vm, __ = build_vm(sim, machine, 'fg', pinning=[0])
+        vcpu = vm.vcpus[0]
+        spec = FaultSpec('virq_drop', 1.0, virq=VIRQ_SA_UPCALL, vm='fg')
+        assert spec.matches_virq(VIRQ_SA_UPCALL, vcpu)
+        assert not spec.matches_virq('VIRQ_TIMER', vcpu)
+        assert not FaultSpec('virq_drop', 1.0,
+                             vm='bg').matches_virq(VIRQ_SA_UPCALL, vcpu)
+
+    def test_every_kind_has_a_campaign_exercising_it(self):
+        covered = set()
+        for factory in CAMPAIGNS.values():
+            covered.update(spec.kind for spec in factory().specs)
+        assert covered == set(FAULT_KINDS)
+
+
+class TestCampaignRegistry:
+    def test_get_campaign_canonical(self):
+        plan = get_campaign('sa-loss-30')
+        assert plan.name == 'sa-loss-30'
+        assert plan.specs[0].probability == pytest.approx(0.3)
+
+    def test_get_campaign_parametric(self):
+        plan = get_campaign('sa-loss-37')
+        assert plan.specs[0].probability == pytest.approx(0.37)
+
+    def test_get_campaign_unknown(self):
+        with pytest.raises(ValueError):
+            get_campaign('meteor-strike')
+
+    def test_parse_merges_comma_separated(self):
+        plan = parse_fault_plan('sa-loss-10,flaky-migrator-20')
+        kinds = [spec.kind for spec in plan.specs]
+        assert 'virq_drop' in kinds and 'migrator_fail' in kinds
+        assert parse_fault_plan('') is None
+
+
+class TestDeterminism:
+    def _trace(self, seed):
+        sim, machine, kernel, sender, injector = faulted_irs_scenario(
+            seed, get_campaign('full-chaos'))
+        sim.run_until(2 * SEC)
+        return (sim.events_processed,
+                tuple(sorted(sim.trace.counters.items())),
+                dict(injector.injected))
+
+    def test_same_seed_same_injections(self):
+        assert self._trace(5) == self._trace(5)
+
+    def test_different_seed_different_schedule(self):
+        assert self._trace(5) != self._trace(6)
+
+    def test_attached_but_quiet_injector_changes_nothing(self):
+        """Zero-probability specs draw from the fault streams yet leave
+        the simulation schedule untouched (independent named streams)."""
+        def run(with_injector):
+            sim = Simulator(seed=9)
+            machine = build_machine(sim, 2)
+            __, kernel = build_vm(sim, machine, 'fg', n_vcpus=2,
+                                  pinning=[0, 1])
+            __, hk = build_vm(sim, machine, 'hog', pinning=[0])
+            install_irs(machine, [kernel])
+            if with_injector:
+                FaultInjector(sim, [FaultSpec('virq_drop', 0.0)
+                                    ]).attach(machine)
+            kernel.spawn('w', hog(), gcpu_index=0)
+            hk.spawn('hog', hog())
+            machine.start()
+            sim.run_until(1 * SEC)
+            counters = {k: v for k, v in sim.trace.counters.items()
+                        if not k.startswith('faults.')}
+            return sim.events_processed, tuple(sorted(counters.items()))
+        assert run(False) == run(True)
+
+
+class TestInjection:
+    def test_sa_loss_drops_and_counts(self):
+        sim, machine, kernel, sender, injector = faulted_irs_scenario(
+            3, get_campaign('sa-loss-50'))
+        sim.run_until(2 * SEC)
+        assert injector.injected['virq_drop'] > 0
+        assert sim.trace.counters['faults.virq_drop'] > 0
+        assert (sim.trace.counters['faults.injected']
+                == sum(injector.injected.values()))
+
+    def test_probe_errors_raise_hypercall_fault(self):
+        sim = Simulator(seed=1)
+        machine = build_machine(sim, 1)
+        vm, kernel = build_vm(sim, machine, 'fg', pinning=[0])
+        plan = get_campaign('probe-errors-100')
+        plan.build(sim).attach(machine)
+        with pytest.raises(HypercallFaultError):
+            machine.hypercalls.vcpu_op_get_runstate(vm.vcpus[0])
+
+    def test_stale_probe_returns_cached_state(self):
+        sim = Simulator(seed=1)
+        machine = build_machine(sim, 1)
+        vm, kernel = build_vm(sim, machine, 'fg', pinning=[0])
+        machine.start()
+        vcpu = vm.vcpus[0]
+        injector = FaultInjector(
+            sim, [FaultSpec('runstate_stale', 1.0)]).attach(machine)
+        # No truthful observation yet: falls back to the real state.
+        assert (machine.hypercalls.vcpu_op_get_runstate(vcpu)
+                == vcpu.runstate)
+        # With a cached observation, the probe reports it no matter
+        # what the real runstate has moved to since.
+        injector._stale_runstates[vcpu] = 'runnable'
+        assert machine.hypercalls.vcpu_op_get_runstate(vcpu) == 'runnable'
+
+    def test_spec_limit_caps_firing(self):
+        sim, machine, kernel, sender, injector = faulted_irs_scenario(
+            3, FaultPlan('capped',
+                         [FaultSpec('virq_drop', 1.0,
+                                    virq=VIRQ_SA_UPCALL, limit=2)]))
+        sim.run_until(2 * SEC)
+        assert injector.injected['virq_drop'] == 2
+
+    def test_summary_names_fired_specs(self):
+        sim, machine, kernel, sender, injector = faulted_irs_scenario(
+            3, get_campaign('sa-loss-50'))
+        sim.run_until(1 * SEC)
+        summary = injector.summary()
+        assert 'virq_drop' in summary

@@ -1,0 +1,30 @@
+"""The ``pytest -m sanitizer`` job: re-run the whole tier-1 suite with
+the runtime scheduler sanitizer enabled at every event (see
+``tests/conftest.py``), asserting zero invariant violations anywhere.
+
+Deselected from plain ``pytest`` runs via ``addopts`` so the default
+suite stays fast.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.mark.sanitizer
+def test_full_suite_with_sanitizer_at_every_event():
+    env = dict(os.environ, REPRO_SANITIZER='1')
+    env['PYTHONPATH'] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, 'src'),
+                    env.get('PYTHONPATH')) if p)
+    result = subprocess.run(
+        [sys.executable, '-m', 'pytest', 'tests', '-q',
+         '-m', 'not sanitizer', '-p', 'no:cacheprovider'],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+    assert result.returncode == 0, (
+        'sanitized suite failed:\n%s\n%s'
+        % (result.stdout[-4000:], result.stderr[-2000:]))

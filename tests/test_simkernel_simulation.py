@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simkernel import SimulationError, Simulator
+from repro.simkernel import LivelockError, SimulationError, Simulator
 
 
 class TestScheduling:
@@ -110,6 +110,56 @@ class TestRunning:
         sim.after(10, first)
         sim.run_until_idle()
         assert log == [('first', 10), ('second', 15)]
+
+    def test_livelock_error_summarizes_pending_events(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.after(1, rearm)
+
+        def far_future():
+            pass
+        sim.after(1, rearm)
+        sim.at(10**9, far_future)
+        with pytest.raises(LivelockError) as err:
+            sim.run_until(10**12, max_events=100)
+        exc = err.value
+        assert isinstance(exc, SimulationError)
+        assert exc.limit == 100
+        assert exc.pending == 2
+        # Deadline summary in firing order, naming the callbacks.
+        assert len(exc.next_events) == 2
+        first_time, first_name = exc.next_events[0]
+        assert first_time == sim.now + 1
+        assert 'rearm' in first_name
+        assert 'far_future' in exc.next_events[1][1]
+        message = str(exc)
+        assert '2 events still pending' in message
+        assert 'rearm' in message
+
+    def test_livelock_error_from_run_until_idle(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.after(1, rearm)
+        sim.after(1, rearm)
+        with pytest.raises(LivelockError) as err:
+            sim.run_until_idle(max_events=50)
+        assert 'while draining' in str(err.value)
+        assert err.value.pending == 1
+
+    def test_livelock_summary_is_bounded(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.after(1, rearm)
+        sim.after(1, rearm)
+        for t in range(100, 120):
+            sim.at(t * 1000, lambda: None)
+        with pytest.raises(LivelockError) as err:
+            sim.run_until(10**9, max_events=10)
+        assert err.value.pending == 21
+        assert len(err.value.next_events) == LivelockError.SUMMARY_DEPTH
 
     def test_clock_never_goes_backwards(self):
         sim = Simulator(seed=7)
