@@ -14,6 +14,8 @@ Returning the right operation is what keeps IRS from perturbing the
 hypervisor's existing scheduling policies (I/O boosting in particular).
 """
 
+from ..obs.phases import PHASE_DESCHEDULE
+
 
 class ContextSwitcher:
     """Deschedules the preemptee vCPU's current task."""
@@ -30,4 +32,9 @@ class ContextSwitcher:
         if task is not None:
             self.switches += 1
             self.kernel.sim.trace.count('irs.context_switches')
+        spans = self.kernel.sim.trace.spans
+        if spans.enabled:
+            spans.instant(self.kernel.sim.now, PHASE_DESCHEDULE,
+                          gcpu.vcpu.name, op=op,
+                          task=task.name if task is not None else None)
         return op, task

@@ -30,6 +30,7 @@ so a task is never stranded in migrator limbo.
 
 from ..faults.injector import HypercallFaultError
 from ..guestos.task import TASK_MIGRATING
+from ..obs.phases import PHASE_MIGRATE, migrate_track
 from .config import IRSConfig
 
 
@@ -52,6 +53,7 @@ class Migrator:
         """Move ``task`` (in migrator limbo) off ``source_gcpu``."""
         if task.state != TASK_MIGRATING:
             self._retry_counts.pop(task, None)
+            self._end_span(task, outcome='stale')
             return None
         target = self._find_target(source_gcpu)
         if target is None:
@@ -82,11 +84,21 @@ class Migrator:
                 # exactly the failure mode the defense exists for.
                 self.sim.trace.count('irs.migrator_failures')
                 self.sim.trace.count('irs.migrator_stranded')
+                self._end_span(task, outcome='stranded')
                 return None
         self._retry_counts.pop(task, None)
         self.migrations += 1
         self.kernel.migrate_limbo_task(task, target)
+        self._end_span(task, outcome='migrated', target=target.name)
         return target
+
+    def _end_span(self, task, **detail):
+        """Close the migrate-pick -> migrate-done span (opened by the
+        SA receiver when it kicked us) on a terminal outcome."""
+        spans = self.sim.trace.spans
+        if spans.enabled:
+            spans.end_phase(self.sim.now, PHASE_MIGRATE,
+                            migrate_track(task.name), **detail)
 
     # ------------------------------------------------------------------
     # Degradation path
@@ -120,6 +132,7 @@ class Migrator:
         self.fallbacks += 1
         self.sim.trace.count('irs.migrator_fallbacks')
         self.kernel.migrate_limbo_task(task, source_gcpu)
+        self._end_span(task, outcome='fallback')
         return source_gcpu
 
     def _probe(self, vcpu):

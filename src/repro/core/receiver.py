@@ -8,6 +8,13 @@ preemptee vCPU holds its pCPU for only the 20–26 µs the handler takes.
 """
 
 from ..hypervisor.channels import VIRQ_SA_UPCALL
+from ..obs.phases import (
+    PHASE_ACK,
+    PHASE_MIGRATE,
+    PHASE_UPCALL,
+    PHASE_VIRQ,
+    migrate_track,
+)
 from .config import IRSConfig
 from .context_switcher import ContextSwitcher
 from .migrator import Migrator
@@ -31,6 +38,12 @@ class SaReceiver:
             return
         if gcpu.in_sa_handler:
             return
+        spans = self.sim.trace.spans
+        if spans.enabled:
+            # The vIRQ leg ends where the upcall leg begins: here.
+            track = gcpu.vcpu.name
+            spans.end_phase(self.sim.now, PHASE_VIRQ, track)
+            spans.begin(self.sim.now, PHASE_UPCALL, track)
         self.kernel.sa_begin(gcpu)
         cost = self.sim.rng.uniform_ns(
             'irs.sa_handler', self.config.sa_handler_min_ns,
@@ -45,9 +58,18 @@ class SaReceiver:
             return
         self.handled += 1
         op, task = self.context_switcher.switch(gcpu)
+        spans = self.sim.trace.spans
         if task is not None:
             # Wake the migrator thread asynchronously; it runs on some
             # other vCPU and must not extend the preemption delay.
+            if spans.enabled:
+                spans.begin(self.sim.now, PHASE_MIGRATE,
+                            migrate_track(task.name), task=task.name,
+                            source=gcpu.vcpu.name)
             self.sim.after(self.config.migrator_kick_ns,
                            self.migrator.migrate, task, gcpu)
+        if spans.enabled:
+            # The ack leg is closed by the sender when the hypercall
+            # lands (or by the offer's timeout if the ack gets lost).
+            spans.begin(self.sim.now, PHASE_ACK, gcpu.vcpu.name, op=op)
         self.kernel.sa_ack(gcpu, op)

@@ -23,6 +23,7 @@ after a backoff period so a recovered channel wins the protocol back.
 """
 
 from ..hypervisor.channels import VIRQ_SA_UPCALL
+from ..obs.phases import PHASE_ACK, PHASE_OFFER, PHASE_VIRQ
 from .config import IRSConfig
 
 
@@ -123,6 +124,13 @@ class SaSender:
         self.sent += 1
         self._offer_times[vcpu] = self.sim.now
         self.sim.trace.count('irs.sa_sent')
+        spans = self.sim.trace.spans
+        if spans.enabled:
+            # Span probes: the offer covers the whole offer->ack chain;
+            # the vIRQ leg closes when the guest handler picks it up.
+            spans.begin(self.sim.now, PHASE_OFFER, vcpu.name,
+                        vm=vcpu.vm.name)
+            spans.begin(self.sim.now, PHASE_VIRQ, vcpu.name)
         self._timeouts[vcpu] = self.sim.after(
             self.config.sa_hard_limit_ns, self._hard_limit, vcpu)
         self.machine.channels.send_virq(vcpu, VIRQ_SA_UPCALL)
@@ -144,6 +152,11 @@ class SaSender:
         timeout = self._timeouts.pop(vcpu, None)
         if timeout is not None:
             timeout.cancel()
+        spans = self.sim.trace.spans
+        if spans.enabled:
+            spans.end_phase(self.sim.now, PHASE_ACK, vcpu.name)
+            spans.end_phase(self.sim.now, PHASE_OFFER, vcpu.name,
+                            outcome='acked')
         self.health.record_success(vcpu.vm)
 
     def _hard_limit(self, vcpu):
@@ -165,6 +178,10 @@ class SaSender:
             self.retried += 1
             self.sim.trace.count('irs.sa_retries')
             backoff = self.config.sa_retry_backoff_ns << attempts
+            spans = self.sim.trace.spans
+            if spans.enabled:
+                spans.begin(self.sim.now, PHASE_VIRQ, vcpu.name,
+                            retry=attempts + 1)
             self._timeouts[vcpu] = self.sim.after(
                 backoff, self._hard_limit, vcpu)
             self.machine.channels.send_virq(vcpu, VIRQ_SA_UPCALL)
@@ -174,6 +191,12 @@ class SaSender:
         vcpu.sa_pending = False
         self.timed_out += 1
         self.sim.trace.count('irs.sa_timeouts')
+        spans = self.sim.trace.spans
+        if spans.enabled:
+            # Closing the offer also closes any legs still open under
+            # it (undelivered vIRQ, interrupted upcall, lost ack).
+            spans.end_phase(self.sim.now, PHASE_OFFER, vcpu.name,
+                            outcome='timeout')
         if self.config.degradation_enabled:
             self.health.record_failure(vcpu.vm)
         if deferred:

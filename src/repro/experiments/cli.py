@@ -10,20 +10,30 @@ Usage::
 """
 
 import argparse
+import inspect
 import sys
 import time
 
 from ..faults import CAMPAIGNS, parse_fault_plan
 from .figures import ALL_FIGURES
-from .harness import set_default_fault_plan
+from .harness import (
+    ObservabilityConfig,
+    set_default_fault_plan,
+    set_default_observability,
+)
 from .reporting import format_table
 from .spec import run_spec_file
+from .strategies import ALL_STRATEGIES, EXTENSION_STRATEGIES
 
 
-def _run_one(name, quick, stream):
+def _run_one(name, quick, stream, strategy=None):
     figure_fn = ALL_FIGURES[name]
+    kwargs = {'quick': quick}
+    if (strategy is not None
+            and 'strategy' in inspect.signature(figure_fn).parameters):
+        kwargs['strategy'] = strategy
     started = time.time()
-    result = figure_fn(quick=quick)
+    result = figure_fn(**kwargs)
     elapsed = time.time() - started
     print(result.table(), file=stream)
     print('(%s: %d rows in %.1fs wall)' % (name, len(result.rows), elapsed),
@@ -62,6 +72,18 @@ def main(argv=None):
                              'default is 1 seed at reduced scale')
     parser.add_argument('--out', metavar='FILE',
                         help='append tables to FILE instead of stdout')
+    parser.add_argument('--trace-out', metavar='FILE', dest='trace_out',
+                        help='export a Chrome trace-event JSON timeline '
+                             '(open at https://ui.perfetto.dev or '
+                             'chrome://tracing) to FILE; enables span '
+                             'probes and timeline sampling. The file is '
+                             'rewritten per run, so for multi-run figures '
+                             'the last run wins')
+    parser.add_argument('--strategy', metavar='NAME',
+                        help='scheduling strategy for drivers that take '
+                             "one (e.g. sa-latency): %s"
+                             % ', '.join(ALL_STRATEGIES
+                                         + EXTENSION_STRATEGIES))
     parser.add_argument('--faults', metavar='CAMPAIGN',
                         help='run every experiment under a named fault '
                              "campaign (comma-separated to combine, e.g. "
@@ -78,6 +100,21 @@ def main(argv=None):
             set_default_fault_plan(parse_fault_plan(args.faults))
         except ValueError as exc:
             parser.error('%s; --faults=list shows the registry' % exc)
+    if args.trace_out:
+        try:
+            # Fail fast with a clean parser error (permissions, missing
+            # directory) instead of a traceback after minutes of runs.
+            with open(args.trace_out, 'a'):
+                pass
+        except OSError as exc:
+            parser.error('cannot write --trace-out file: %s' % exc)
+        set_default_observability(ObservabilityConfig(
+            trace_out=args.trace_out))
+    if args.strategy is not None:
+        known = ALL_STRATEGIES + EXTENSION_STRATEGIES
+        if args.strategy not in known:
+            parser.error('unknown strategy %r (want one of %s)'
+                         % (args.strategy, ', '.join(known)))
     if args.figure is None:
         parser.error('the following arguments are required: figure')
 
@@ -90,7 +127,9 @@ def main(argv=None):
     if args.figure.endswith('.json'):
         return _run_specs(args.figure)
 
-    names = list(ALL_FIGURES) if args.figure == 'all' else [args.figure]
+    # Accept dashed aliases (sa-latency == sa_latency).
+    figure = args.figure.replace('-', '_')
+    names = list(ALL_FIGURES) if figure == 'all' else [figure]
     unknown = [n for n in names if n not in ALL_FIGURES]
     if unknown:
         parser.error('unknown figure %s; try: %s'
@@ -103,7 +142,8 @@ def main(argv=None):
         stream = handle
     try:
         for name in names:
-            _run_one(name, quick=not args.full, stream=stream)
+            _run_one(name, quick=not args.full, stream=stream,
+                     strategy=args.strategy)
     finally:
         if handle is not None:
             handle.close()

@@ -12,9 +12,16 @@ rough factors, crossovers) is expected to match the testbed results.
 
 import statistics
 
+from ..obs.report import explain_empty, sa_latency_rows
 from ..simkernel.units import MS, SEC, US
 from ..workloads import NPB, PARSEC, get_profile, profile_variant
-from .harness import run_migration_probe, run_parallel, run_server
+from .harness import (
+    ObservabilityConfig,
+    default_observability,
+    run_migration_probe,
+    run_parallel,
+    run_server,
+)
 from .reporting import FigureResult
 from .strategies import COMPARISON_STRATEGIES, IRS, PLE, RELAXED_CO, VANILLA
 from .topology import NO_INTERFERENCE, InterferenceSpec
@@ -403,6 +410,28 @@ def sa_overhead(quick=True):
         rows, notes)
 
 
+def sa_latency(quick=True, strategy=IRS):
+    """Per-phase SA-protocol latency percentiles from the span probes
+    (offer, vIRQ, upcall, deschedule, ack, preempt-fire, migrate)."""
+    cfg = _settings(quick)
+    # The CLI-installed default (--trace-out) wins so the run is also
+    # exported; otherwise spans only, no timeline sampling needed.
+    observe = default_observability() or ObservabilityConfig(timeline=False)
+    result = run_parallel('streamcluster', strategy,
+                          InterferenceSpec('hogs', 2),
+                          seed=cfg['seeds'][0], scale=cfg['scale'],
+                          observe=observe)
+    headers, rows, notes = sa_latency_rows(result.metrics.registry)
+    title = ('Section 3.1: SA-protocol phase latency (strategy=%s)'
+             % strategy)
+    if not rows:
+        # Explain the empty table instead of printing zeros.
+        reason = explain_empty(strategy, spans_enabled=True)
+        notes['empty_reason'] = reason
+        rows = [['(none)', '0', '--', '--', '--', '--', reason]]
+    return FigureResult(title, headers, rows, notes)
+
+
 def fairness_check(quick=True, apps=('streamcluster', 'UA')):
     """Section 5.4: IRS improves the foreground VM's utilization but
     never pushes it past the fair share."""
@@ -434,5 +463,6 @@ ALL_FIGURES = {
     'fig12': fig12,
     'fig13': fig13,
     'sa_overhead': sa_overhead,
+    'sa_latency': sa_latency,
     'fairness_check': fairness_check,
 }

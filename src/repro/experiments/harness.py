@@ -7,7 +7,8 @@ duration.
 """
 
 from ..core import IRSConfig
-from ..metrics import RunMetrics, utilization_vs_fair_share
+from ..metrics import RunMetrics, TimelineRecorder, utilization_vs_fair_share
+from ..obs.exporters import write_chrome_trace
 from ..simkernel.units import MS, SEC
 from ..workloads import (
     ApacheBenchWorkload,
@@ -43,6 +44,83 @@ def default_fault_plan():
     return _default_fault_plan
 
 
+class ObservabilityConfig:
+    """What a run should capture and where to export it.
+
+    ``trace_out`` names a Chrome trace-event JSON file (Perfetto /
+    ``chrome://tracing``); when a figure driver makes several runs the
+    file is rewritten per run, so the last run wins. ``spans`` enables
+    the SA-protocol span probes; ``timeline`` attaches a
+    :class:`~repro.metrics.TimelineRecorder` sampling every
+    ``timeline_period_ns``.
+    """
+
+    def __init__(self, trace_out=None, spans=True, timeline=True,
+                 timeline_period_ns=1 * MS):
+        self.trace_out = trace_out
+        self.spans = spans
+        self.timeline = timeline
+        self.timeline_period_ns = timeline_period_ns
+
+
+# Observability applied to every run that does not pass ``observe``
+# explicitly; set from the CLI's ``--trace-out`` flag. None = no
+# capture, the zero-overhead path.
+_default_obs = None
+
+
+def set_default_observability(config):
+    """Install ``config`` (an :class:`ObservabilityConfig` or None) for
+    every subsequent run. Returns the previous config."""
+    global _default_obs
+    previous = _default_obs
+    _default_obs = config
+    return previous
+
+
+def default_observability():
+    """The currently installed default observability config (or None)."""
+    return _default_obs
+
+
+class _ObsSession:
+    """One run's armed observability: stops sampling and exports."""
+
+    def __init__(self, config, scenario, timeline):
+        self.config = config
+        self.scenario = scenario
+        self.timeline = timeline
+
+    def finish(self):
+        if self.timeline is not None:
+            self.timeline.stop()
+        if self.config.trace_out:
+            write_chrome_trace(self.config.trace_out,
+                               machine=self.scenario.machine,
+                               timeline=self.timeline,
+                               spans=self.scenario.sim.trace.spans,
+                               now_ns=self.scenario.sim.now)
+
+
+def _arm_observability(scenario, observe):
+    """Enable span probes / timeline sampling on a fresh scenario.
+    ``observe`` may be an :class:`ObservabilityConfig`, True (defaults),
+    or None to fall back to the CLI-installed default."""
+    config = observe if observe is not None else _default_obs
+    if config is None:
+        return None
+    if config is True:
+        config = ObservabilityConfig()
+    if config.spans:
+        scenario.sim.trace.spans.enabled = True
+    timeline = None
+    if config.timeline:
+        timeline = TimelineRecorder(
+            scenario.sim, scenario.machine,
+            period_ns=config.timeline_period_ns).start()
+    return _ObsSession(config, scenario, timeline)
+
+
 def _arm_faults(scenario, fault_plan, strategy, irs_config):
     """Attach the fault plan (explicit or default) to a freshly built
     scenario. Returns the effective ``(injector, irs_config)`` — when a
@@ -63,7 +141,7 @@ class ParallelRunResult:
     """Outcome of one parallel-workload run."""
 
     def __init__(self, app, strategy, makespan_ns, utilization, bg_rates,
-                 metrics, workload, scenario):
+                 metrics, workload, scenario, timeline=None):
         self.app = app
         self.strategy = strategy
         self.makespan_ns = makespan_ns
@@ -72,6 +150,7 @@ class ParallelRunResult:
         self.metrics = metrics
         self.workload = workload
         self.scenario = scenario
+        self.timeline = timeline
 
     @property
     def completed(self):
@@ -86,17 +165,22 @@ class ParallelRunResult:
 def run_parallel(app, strategy='vanilla', interference=NO_INTERFERENCE,
                  seed=0, n_pcpus=4, fg_vcpus=4, n_threads=None, pinned=True,
                  scale=1.0, timeout_ns=DEFAULT_TIMEOUT_NS, irs_config=None,
-                 profile=None, fault_plan=None):
+                 profile=None, fault_plan=None, observe=None):
     """Run one parallel benchmark under one strategy and interference
     level; measure makespan, utilization, and background progress.
 
     ``fault_plan`` (a :class:`repro.faults.FaultPlan`) subjects the run
     to a deterministic fault campaign; when omitted, the CLI-installed
     default plan (``--faults``) applies, and with neither the machine
-    is perfectly reliable."""
+    is perfectly reliable.
+
+    ``observe`` (an :class:`ObservabilityConfig`, or True for the
+    defaults) turns on span probes and timeline sampling; when omitted,
+    the CLI-installed default (``--trace-out``) applies."""
     scenario = build_scenario(seed=seed, n_pcpus=n_pcpus, fg_vcpus=fg_vcpus,
                               interference=interference, pinned=pinned,
                               scale=scale)
+    obs = _arm_observability(scenario, observe)
     __, irs_config = _arm_faults(scenario, fault_plan, strategy, irs_config)
     irs_kernels = ([scenario.fg_kernel]
                    if strategy in (IRS, DELAY_PREEMPT) else ())
@@ -123,20 +207,24 @@ def run_parallel(app, strategy='vanilla', interference=NO_INTERFERENCE,
     bg_rates = [bg.progress_rate() for bg in scenario.bg_workloads
                 if isinstance(bg, ParallelWorkload)]
     metrics = RunMetrics(scenario.machine, scenario.all_kernels, elapsed)
+    if obs is not None:
+        obs.finish()
     return ParallelRunResult(app, strategy, makespan, utilization, bg_rates,
-                             metrics, workload, scenario)
+                             metrics, workload, scenario,
+                             timeline=obs.timeline if obs else None)
 
 
 class ServerRunResult:
     """Outcome of one server-benchmark run."""
 
     def __init__(self, kind, strategy, throughput, latency_summary,
-                 metrics):
+                 metrics, timeline=None):
         self.kind = kind
         self.strategy = strategy
         self.throughput = throughput
         self.latency_summary = latency_summary
         self.metrics = metrics
+        self.timeline = timeline
 
     def __repr__(self):
         return '<ServerRun %s/%s %.0f req/s p99=%.2fms>' % (
@@ -146,13 +234,15 @@ class ServerRunResult:
 
 def run_server(kind, strategy='vanilla', n_hogs=1, seed=0, n_pcpus=4,
                fg_vcpus=4, warmup_ns=300 * MS, measure_ns=2 * SEC,
-               irs_config=None, fault_plan=None, **server_kwargs):
+               irs_config=None, fault_plan=None, observe=None,
+               **server_kwargs):
     """Run a server workload (``'specjbb'`` or ``'ab'``) against N CPU
     hogs; measure steady-state throughput and latency."""
     interference = (InterferenceSpec('hogs', width=n_hogs) if n_hogs > 0
                     else NO_INTERFERENCE)
     scenario = build_scenario(seed=seed, n_pcpus=n_pcpus,
                               fg_vcpus=fg_vcpus, interference=interference)
+    obs = _arm_observability(scenario, observe)
     __, irs_config = _arm_faults(scenario, fault_plan, strategy, irs_config)
     irs_kernels = ([scenario.fg_kernel]
                    if strategy in (IRS, DELAY_PREEMPT) else ())
@@ -177,8 +267,11 @@ def run_server(kind, strategy='vanilla', n_hogs=1, seed=0, n_pcpus=4,
     sim.run_until(sim.now + measure_ns)
 
     metrics = RunMetrics(scenario.machine, scenario.all_kernels, measure_ns)
+    if obs is not None:
+        obs.finish()
     return ServerRunResult(kind, strategy, server.throughput(),
-                           server.latency.summary(), metrics)
+                           server.latency.summary(), metrics,
+                           timeline=obs.timeline if obs else None)
 
 
 def run_migration_probe(n_inter_vms, seed=0, warmup_ns=None,

@@ -20,6 +20,7 @@ involuntary preemption it offers the event to the SA sender, which may
 defer the context switch until the guest acknowledges.
 """
 
+from ..obs.phases import PHASE_PREEMPT_FIRE
 from ..simkernel.units import MS
 from .vcpu import (
     PRI_BOOST,
@@ -250,6 +251,10 @@ class CreditScheduler:
             raise RuntimeError('no deferred preemption outstanding on %s'
                                % vcpu.name)
         pcpu.preempt_deferred = False
+        spans = self.sim.trace.spans
+        if spans.enabled:
+            spans.instant(self.sim.now, PHASE_PREEMPT_FIRE, vcpu.name,
+                          block=block)
         new_state = RUNSTATE_BLOCKED if block else RUNSTATE_RUNNABLE
         self._stop_current(pcpu, new_state)
         self._schedule(pcpu)

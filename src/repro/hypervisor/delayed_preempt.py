@@ -11,6 +11,7 @@ deferral budget caps how much it can help (long or nested critical
 sections overrun it), and it does nothing for lock *waiters*.
 """
 
+from ..obs.phases import PHASE_DP_DEFER
 from ..simkernel.units import MS, US
 
 DEFAULT_WINDOW_NS = 100 * US
@@ -89,12 +90,19 @@ class DelayedPreemption:
         self._extension_used[vcpu] = used + self.window_ns
         self.deferrals += 1
         self.sim.trace.count('dp.deferrals')
+        spans = self.sim.trace.spans
+        if spans.enabled:
+            spans.begin(self.sim.now, PHASE_DP_DEFER, vcpu.name,
+                        task=task.name)
         self._retry[pcpu] = self.sim.after(self.window_ns,
                                            self._retry_preempt, pcpu, vcpu)
         return True
 
     def _retry_preempt(self, pcpu, vcpu):
         self._retry.pop(pcpu, None)
+        spans = self.sim.trace.spans
+        if spans.enabled:
+            spans.end_phase(self.sim.now, PHASE_DP_DEFER, vcpu.name)
         if pcpu.current is not vcpu or not vcpu.is_running:
             return
         self.machine.scheduler.retry_preemption(pcpu)

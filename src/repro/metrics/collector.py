@@ -9,6 +9,13 @@ the snapshot also separates out the fault/degradation counters —
 injections per kind, SA retries/suppressions, migrator recoveries,
 sanitizer checks — under :attr:`RunMetrics.fault_counters` and
 :attr:`RunMetrics.degradation_counters`.
+
+The snapshot is backed by a typed
+:class:`~repro.obs.histograms.MetricsRegistry`
+(:attr:`RunMetrics.registry`): the tracer's raw counters are folded in
+as typed counters next to the span-phase latency histograms, and all
+counter views are prefix filters over the registry rather than ad-hoc
+``Counter`` scraping.
 """
 
 #: Trace-counter prefixes that belong to the fault plane (injections).
@@ -25,9 +32,14 @@ DEGRADATION_COUNTER_PREFIXES = (
 )
 
 
-def _select(counters, prefixes):
-    return {name: value for name, value in sorted(counters.items())
-            if name.startswith(prefixes)}
+def registry_from_tracer(trace):
+    """Frozen :class:`MetricsRegistry` for one finished run: the
+    tracer's typed metrics (phase histograms, obs counters) plus its
+    legacy raw counters folded in as typed counters."""
+    registry = trace.metrics.snapshot()
+    for name, value in trace.counters.items():
+        registry.counter(name).inc(value)
+    return registry
 
 
 class VmMetrics:
@@ -77,11 +89,13 @@ class RunMetrics:
         for kernel in kernels:
             for task in kernel.tasks:
                 self.tasks[task.name] = TaskMetrics(task)
-        self.counters = dict(machine.sim.trace.counters)
-        self.fault_counters = _select(self.counters,
-                                      FAULT_COUNTER_PREFIXES)
-        self.degradation_counters = _select(self.counters,
-                                            DEGRADATION_COUNTER_PREFIXES)
+        self.registry = registry_from_tracer(machine.sim.trace)
+        self.counters = self.registry.counter_values()
+        self.fault_counters = self.registry.counter_values(
+            prefixes=FAULT_COUNTER_PREFIXES)
+        self.degradation_counters = self.registry.counter_values(
+            prefixes=DEGRADATION_COUNTER_PREFIXES)
+        self.phase_latencies = self.registry.histogram_summaries()
         self.pcpu_busy_ns = [p.snapshot_busy(now) for p in machine.pcpus]
 
     def machine_utilization(self):

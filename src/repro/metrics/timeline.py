@@ -41,9 +41,10 @@ class TimelineRecorder:
         self._armed = None
 
     def start(self):
-        """Begin sampling (idempotent)."""
+        """Begin sampling (idempotent). The first sample fires at the
+        current instant so the t=0 machine state is captured too."""
         if self._armed is None or not self._armed.pending:
-            self._armed = self.sim.after(self.period_ns, self._sample)
+            self._armed = self.sim.call_soon(self._sample)
         return self
 
     def stop(self):

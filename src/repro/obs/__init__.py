@@ -1,0 +1,73 @@
+"""Observability: spans, latency histograms, and trace exporters.
+
+The instrumentation plane of the reproduction (docs/observability.md):
+
+* :mod:`repro.obs.spans` - begin/end span recording with nesting and a
+  bounded ring, owned by every :class:`~repro.simkernel.tracing.Tracer`;
+* :mod:`repro.obs.phases` - the SA-protocol phase taxonomy the probes
+  in ``repro.core`` and ``repro.hypervisor`` emit;
+* :mod:`repro.obs.histograms` - log-bucketed latency histograms and
+  the typed counter/gauge/histogram registry;
+* :mod:`repro.obs.exporters` - Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) and schema validation;
+* :mod:`repro.obs.report` - the per-phase ``sa-latency`` summary.
+"""
+
+from .exporters import (
+    chrome_trace_events,
+    load_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .histograms import (
+    CounterMetric,
+    GaugeMetric,
+    LogHistogram,
+    MetricsRegistry,
+)
+from .phases import (
+    ALL_PHASES,
+    PHASE_ACK,
+    PHASE_DESCHEDULE,
+    PHASE_DP_DEFER,
+    PHASE_MIGRATE,
+    PHASE_OFFER,
+    PHASE_PREEMPT_FIRE,
+    PHASE_UPCALL,
+    PHASE_VIRQ,
+    SA_PHASES,
+)
+from .report import (
+    explain_empty,
+    format_text_report,
+    phase_summaries,
+    sa_latency_rows,
+)
+from .spans import Span, SpanRecorder
+
+__all__ = [
+    'ALL_PHASES',
+    'CounterMetric',
+    'GaugeMetric',
+    'LogHistogram',
+    'MetricsRegistry',
+    'PHASE_ACK',
+    'PHASE_DESCHEDULE',
+    'PHASE_DP_DEFER',
+    'PHASE_MIGRATE',
+    'PHASE_OFFER',
+    'PHASE_PREEMPT_FIRE',
+    'PHASE_UPCALL',
+    'PHASE_VIRQ',
+    'SA_PHASES',
+    'Span',
+    'SpanRecorder',
+    'chrome_trace_events',
+    'explain_empty',
+    'format_text_report',
+    'load_chrome_trace',
+    'phase_summaries',
+    'sa_latency_rows',
+    'validate_chrome_trace',
+    'write_chrome_trace',
+]

@@ -1,0 +1,246 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto) and text.
+
+:func:`chrome_trace_events` folds two data sources into one timeline:
+
+* **TimelineRecorder samples** become pCPU occupancy tracks (which vCPU
+  held each pCPU) and per-vCPU task tracks (which guest task each vCPU
+  was executing) - the macro view;
+* **SpanRecorder spans** become nested slices on per-track threads -
+  the micro view of every SA-protocol leg (offer, vIRQ, upcall,
+  deschedule, ack, preempt-fire, migrate).
+
+The emitted JSON is the Chrome trace-event format: open it at
+https://ui.perfetto.dev or ``chrome://tracing``. Timestamps are
+microseconds (the format's unit); durations under a microsecond keep
+fractional precision.
+
+:func:`validate_chrome_trace` is the schema contract the exporter
+tests (and any future exporter change) must keep: required keys,
+balanced ``B``/``E`` nesting, and per-track timestamp monotonicity.
+"""
+
+import json
+
+#: Process ids grouping the tracks in the trace viewer.
+PID_HYPERVISOR = 1          # pCPU occupancy (who held each pCPU)
+PID_GUEST = 2               # per-vCPU guest task execution
+PID_SA = 3                  # SA/DP protocol spans
+
+_TRACK_SORT_HINT = {PID_HYPERVISOR: 'pCPUs', PID_GUEST: 'vCPU tasks',
+                    PID_SA: 'SA protocol'}
+
+
+def _us(value_ns):
+    """ns -> trace-event microseconds (float keeps sub-us precision)."""
+    return value_ns / 1000.0
+
+
+def _meta(event_name, pid, tid, **args):
+    return {'name': event_name, 'ph': 'M', 'ts': 0.0, 'pid': pid,
+            'tid': tid, 'args': args}
+
+
+def _complete(name, pid, tid, begin_ns, end_ns, args=None):
+    event = {'name': name, 'ph': 'X', 'ts': _us(begin_ns),
+             'dur': _us(end_ns - begin_ns), 'pid': pid, 'tid': tid}
+    if args:
+        event['args'] = args
+    return event
+
+
+# ----------------------------------------------------------------------
+# Timeline-sample tracks
+# ----------------------------------------------------------------------
+
+def _merge_slices(samples, key_fn):
+    """Collapse consecutive samples with equal ``key_fn(sample)`` into
+    ``(key, begin_ns, end_ns)`` slices (None keys become gaps)."""
+    slices = []
+    current = None
+    start = None
+    last_time = None
+    for sample in samples:
+        key = key_fn(sample)
+        if key != current:
+            if current is not None:
+                slices.append((current, start, sample.time))
+            current = key
+            start = sample.time
+        last_time = sample.time
+    if current is not None and last_time is not None and last_time > start:
+        slices.append((current, start, last_time))
+    return slices
+
+
+def _pcpu_events(timeline, machine):
+    """One track per pCPU; slices name the running vCPU."""
+    events = []
+    for pcpu in machine.pcpus:
+        tid = pcpu.index
+
+        def occupant(sample, _index=pcpu.index):
+            for name, home in sample.vcpu_pcpus.items():
+                if home == _index and sample.vcpu_states.get(name) == 'running':
+                    return name
+            return None
+
+        events.append(_meta('thread_name', PID_HYPERVISOR, tid,
+                            name='pCPU%d' % tid))
+        for vcpu_name, begin, end in _merge_slices(timeline.samples,
+                                                   occupant):
+            events.append(_complete(vcpu_name, PID_HYPERVISOR, tid,
+                                    begin, end))
+    return events
+
+
+def _vcpu_task_events(timeline, machine):
+    """One track per vCPU; slices name the guest task it executed."""
+    events = []
+    tid = 0
+    for vm in machine.vms:
+        for vcpu in vm.vcpus:
+            name = vcpu.name
+
+            def running_task(sample, _name=name):
+                if sample.vcpu_states.get(_name) != 'running':
+                    return None
+                return sample.vcpu_tasks.get(_name)
+
+            events.append(_meta('thread_name', PID_GUEST, tid, name=name))
+            for task, begin, end in _merge_slices(timeline.samples,
+                                                  running_task):
+                events.append(_complete(task, PID_GUEST, tid, begin, end))
+            tid += 1
+    return events
+
+
+# ----------------------------------------------------------------------
+# Span tracks
+# ----------------------------------------------------------------------
+
+def _span_events(spans):
+    """Nested B/E slices per span track (X for zero-duration spans).
+
+    Per-track ordering: at equal timestamps, ends before begins, deeper
+    ends before shallower ones, shallower begins before deeper ones -
+    exactly the order that keeps B/E properly nested.
+    """
+    by_track = {}
+    for span in spans:
+        by_track.setdefault(span.track, []).append(span)
+    events = []
+    for tid, track in enumerate(sorted(by_track)):
+        events.append(_meta('thread_name', PID_SA, tid, name=track))
+        keyed = []
+        for span in by_track[track]:
+            args = dict(span.detail) if span.detail else None
+            if span.duration_ns == 0:
+                keyed.append(((span.begin_ns, 1, span.depth),
+                              _complete(span.phase, PID_SA, tid,
+                                        span.begin_ns, span.end_ns, args)))
+                continue
+            begin = {'name': span.phase, 'ph': 'B',
+                     'ts': _us(span.begin_ns), 'pid': PID_SA, 'tid': tid}
+            if args:
+                begin['args'] = args
+            end = {'name': span.phase, 'ph': 'E',
+                   'ts': _us(span.end_ns), 'pid': PID_SA, 'tid': tid}
+            keyed.append(((span.begin_ns, 1, span.depth), begin))
+            keyed.append(((span.end_ns, 0, -span.depth), end))
+        keyed.sort(key=lambda pair: pair[0])
+        events.extend(event for __, event in keyed)
+    return events
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+def chrome_trace_events(machine=None, timeline=None, spans=None):
+    """Build the trace-event list from whatever sources are given."""
+    events = [
+        _meta('process_name', PID_HYPERVISOR, 0, name='hypervisor'),
+        _meta('process_name', PID_GUEST, 0, name='guest'),
+        _meta('process_name', PID_SA, 0, name='sa-protocol'),
+    ]
+    for pid, label in _TRACK_SORT_HINT.items():
+        events.append(_meta('process_sort_index', pid, 0, sort_index=pid,
+                            label=label))
+    if timeline is not None and machine is not None and timeline.samples:
+        events.extend(_pcpu_events(timeline, machine))
+        events.extend(_vcpu_task_events(timeline, machine))
+    if spans is not None:
+        events.extend(_span_events(spans.spans))
+    return events
+
+
+def write_chrome_trace(path, machine=None, timeline=None, spans=None,
+                       now_ns=None):
+    """Serialize the trace to ``path``. Open spans are flushed first so
+    in-flight protocol legs still show up (marked ``truncated``).
+    Returns the number of events written."""
+    if spans is not None and now_ns is not None:
+        spans.flush_open(now_ns)
+    events = chrome_trace_events(machine=machine, timeline=timeline,
+                                 spans=spans)
+    document = {'traceEvents': events, 'displayTimeUnit': 'ms'}
+    with open(path, 'w') as handle:
+        json.dump(document, handle, indent=None, separators=(',', ':'))
+        handle.write('\n')
+    return len(events)
+
+
+def validate_chrome_trace(events):
+    """Schema contract for the emitted events. Returns a list of
+    problem strings (empty = valid).
+
+    Checks: required keys on every event, balanced and LIFO-nested
+    ``B``/``E`` pairs per (pid, tid) track, and non-decreasing ``ts``
+    per track in file order.
+    """
+    problems = []
+    last_ts = {}
+    stacks = {}
+    for i, event in enumerate(events):
+        for key in ('ph', 'ts', 'pid', 'tid'):
+            if key not in event:
+                problems.append('event %d missing %r: %r' % (i, key, event))
+        if problems and len(problems) > 20:
+            return problems
+        ph = event.get('ph')
+        track = (event.get('pid'), event.get('tid'))
+        ts = event.get('ts')
+        if ph != 'M' and isinstance(ts, (int, float)):
+            if ts < last_ts.get(track, 0.0):
+                problems.append(
+                    'event %d: ts %.3f goes backwards on track %r'
+                    % (i, ts, track))
+            last_ts[track] = ts
+        if ph == 'B':
+            stacks.setdefault(track, []).append(event)
+        elif ph == 'E':
+            stack = stacks.get(track)
+            if not stack:
+                problems.append('event %d: E without B on track %r'
+                                % (i, track))
+            else:
+                begin = stack.pop()
+                if begin.get('name') != event.get('name'):
+                    problems.append(
+                        'event %d: E %r interleaves with open B %r on '
+                        'track %r' % (i, event.get('name'),
+                                      begin.get('name'), track))
+        elif ph == 'X' and 'dur' not in event:
+            problems.append('event %d: X without dur' % i)
+    for track, stack in stacks.items():
+        if stack:
+            problems.append('track %r: %d unbalanced B events'
+                            % (track, len(stack)))
+    return problems
+
+
+def load_chrome_trace(path):
+    """Read back a trace written by :func:`write_chrome_trace`."""
+    with open(path) as handle:
+        document = json.load(handle)
+    return document['traceEvents']

@@ -1,0 +1,268 @@
+"""Log-bucketed latency histograms and the typed metrics registry.
+
+The histogram is HdrHistogram-shaped: values land in power-of-two major
+buckets, each split into :data:`SUB_BUCKETS` linear sub-buckets, so the
+relative quantile error is bounded (~1/SUB_BUCKETS) at every magnitude
+while storage stays O(log(max) * SUB_BUCKETS) regardless of sample
+count. That is what lets a multi-second run keep full-fidelity
+percentiles of 20 µs scheduler-activation phases without retaining the
+samples themselves.
+
+The :class:`MetricsRegistry` is the typed face of the measurement
+plane: named counters, gauges, and histograms created on first use.
+:class:`~repro.metrics.collector.RunMetrics` snapshots it at the end of
+a run instead of prefix-scraping a raw ``Counter``.
+
+This module is dependency-free on purpose: :mod:`repro.simkernel.tracing`
+imports it, so it must not import anything from the simkernel.
+"""
+
+import math
+
+#: Linear sub-buckets per power-of-two octave. 16 gives <= ~6% relative
+#: quantile error - tight enough to resolve the paper's 20-26 us band.
+SUB_BUCKETS = 16
+
+
+class LogHistogram:
+    """Fixed-memory histogram of non-negative integer durations (ns)."""
+
+    __slots__ = ('name', 'count', 'sum', 'min', 'max', '_buckets')
+    kind = 'histogram'
+
+    def __init__(self, name='histogram'):
+        self.name = name
+        self.count = 0
+        self.sum = 0
+        self.min = None
+        self.max = None
+        self._buckets = {}      # bucket index -> count
+
+    @staticmethod
+    def _bucket_index(value):
+        """Index of the (octave, sub-bucket) cell holding ``value``."""
+        if value < SUB_BUCKETS:
+            return value
+        octave = value.bit_length() - 1
+        # Width of one sub-bucket in this octave.
+        sub = (value - (1 << octave)) * SUB_BUCKETS >> octave
+        return octave * SUB_BUCKETS + sub
+
+    @staticmethod
+    def _bucket_bounds(index):
+        """(low, high) value range of bucket ``index`` (high exclusive)."""
+        if index < SUB_BUCKETS:
+            return index, index + 1
+        octave, sub = divmod(index, SUB_BUCKETS)
+        base = 1 << octave
+        width = base // SUB_BUCKETS or 1
+        low = base + sub * width
+        return low, low + width
+
+    def record(self, value_ns):
+        """Add one sample. Negative durations are a caller bug."""
+        if value_ns < 0:
+            raise ValueError('negative duration %r' % value_ns)
+        value_ns = int(value_ns)
+        self.count += 1
+        self.sum += value_ns
+        if self.min is None or value_ns < self.min:
+            self.min = value_ns
+        if self.max is None or value_ns > self.max:
+            self.max = value_ns
+        index = self._bucket_index(value_ns)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def __len__(self):
+        return self.count
+
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p):
+        """Approximate percentile via linear interpolation inside the
+        bucket holding the rank; exact at the recorded min and max."""
+        if not 0 <= p <= 100:
+            raise ValueError('percentile must be in [0, 100]')
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        seen = 0
+        for index in sorted(self._buckets):
+            n = self._buckets[index]
+            if seen + n >= rank:
+                low, high = self._bucket_bounds(index)
+                frac = (rank - seen) / n
+                value = low + (high - low) * frac
+                # The true extremes are tracked exactly; never report
+                # beyond them because of bucket granularity.
+                return float(min(max(value, self.min), self.max))
+            seen += n
+        return float(self.max)
+
+    def p50(self):
+        return self.percentile(50)
+
+    def p90(self):
+        return self.percentile(90)
+
+    def p99(self):
+        return self.percentile(99)
+
+    def summary(self):
+        """Dict of the aggregates every report prints (ns)."""
+        return {
+            'count': self.count,
+            'mean': self.mean(),
+            'p50': self.p50(),
+            'p90': self.p90(),
+            'p99': self.p99(),
+            'min': self.min if self.min is not None else 0,
+            'max': self.max if self.max is not None else 0,
+        }
+
+    def merge(self, other):
+        """Fold ``other``'s samples into this histogram."""
+        if other.count == 0:
+            return self
+        self.count += other.count
+        self.sum += other.sum
+        if self.min is None or (other.min is not None
+                                and other.min < self.min):
+            self.min = other.min
+        if self.max is None or (other.max is not None
+                                and other.max > self.max):
+            self.max = other.max
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+        return self
+
+    def copy(self, name=None):
+        clone = LogHistogram(name or self.name)
+        clone.count = self.count
+        clone.sum = self.sum
+        clone.min = self.min
+        clone.max = self.max
+        clone._buckets = dict(self._buckets)
+        return clone
+
+    def __repr__(self):
+        return '<LogHistogram %s n=%d>' % (self.name, self.count)
+
+
+class CounterMetric:
+    """Monotonic counter."""
+
+    __slots__ = ('name', 'value')
+    kind = 'counter'
+
+    def __init__(self, name, value=0):
+        self.name = name
+        self.value = value
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError('counters only go up (got %r)' % amount)
+        self.value += amount
+
+    def __repr__(self):
+        return '<Counter %s=%d>' % (self.name, self.value)
+
+
+class GaugeMetric:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ('name', 'value')
+    kind = 'gauge'
+
+    def __init__(self, name, value=0):
+        self.name = name
+        self.value = value
+
+    def set(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return '<Gauge %s=%r>' % (self.name, self.value)
+
+
+class MetricsRegistry:
+    """Named, typed metrics created on first use.
+
+    A name is permanently bound to its first type; asking for the same
+    name as a different type is a programming error and raises.
+    """
+
+    def __init__(self):
+        self._metrics = {}
+
+    def _get(self, name, factory, kind):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory(name)
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise TypeError('metric %r is a %s, not a %s'
+                            % (name, metric.kind, kind))
+        return metric
+
+    def counter(self, name):
+        return self._get(name, CounterMetric, 'counter')
+
+    def gauge(self, name):
+        return self._get(name, GaugeMetric, 'gauge')
+
+    def histogram(self, name):
+        return self._get(name, LogHistogram, 'histogram')
+
+    def __contains__(self, name):
+        return name in self._metrics
+
+    def __iter__(self):
+        return iter(sorted(self._metrics))
+
+    def __len__(self):
+        return len(self._metrics)
+
+    def get(self, name):
+        return self._metrics.get(name)
+
+    def names(self, kind=None, prefixes=None):
+        """Sorted metric names, optionally filtered by kind/prefixes."""
+        out = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if kind is not None and metric.kind != kind:
+                continue
+            if prefixes is not None and not name.startswith(tuple(prefixes)):
+                continue
+            out.append(name)
+        return out
+
+    def counter_values(self, prefixes=None):
+        """``{name: value}`` for counters (optionally prefix-filtered)."""
+        return {name: self._metrics[name].value
+                for name in self.names(kind='counter', prefixes=prefixes)}
+
+    def histogram_summaries(self, prefixes=None):
+        """``{name: summary-dict}`` for histograms."""
+        return {name: self._metrics[name].summary()
+                for name in self.names(kind='histogram', prefixes=prefixes)}
+
+    def snapshot(self):
+        """Deep-copied registry frozen at this instant."""
+        clone = MetricsRegistry()
+        for name, metric in self._metrics.items():
+            if metric.kind == 'histogram':
+                clone._metrics[name] = metric.copy()
+            elif metric.kind == 'counter':
+                clone._metrics[name] = CounterMetric(name, metric.value)
+            else:
+                clone._metrics[name] = GaugeMetric(name, metric.value)
+        return clone
+
+    def clear(self):
+        self._metrics.clear()
+
+    def __repr__(self):
+        return '<MetricsRegistry %d metrics>' % len(self._metrics)

@@ -1,0 +1,70 @@
+"""The SA-protocol phase taxonomy.
+
+One span phase per leg of the scheduler-activation lifecycle
+(Algorithm 1/2; Sections 3.1-3.3). Spans of one activation nest on the
+preemptee vCPU's track::
+
+    sa.offer                       hypervisor offers, waits for the ack
+      sa.virq                      event-channel delivery of the upcall
+      sa.upcall                    guest vIRQ handler + softirq bottom half
+        sa.deschedule              context switch into migrator limbo
+        sa.ack                     SCHEDOP ack hypercall back down
+      sa.preempt_fire              the parked preemption finally completes
+
+while the asynchronous migration runs on its own per-task track::
+
+    sa.migrate                     migrate-pick -> migrate-done (or fallback)
+
+The delay-preemption baseline contributes one phase of its own
+(``dp.defer``) so its deferral windows are visible on the same
+timeline. Histograms are registered under the phase name, so
+``registry.histogram('sa.offer').summary()`` is the paper's
+Section 3.1 "20-26 us" profile.
+"""
+
+#: Hypervisor offered an activation; ends at guest ack (or hard limit).
+PHASE_OFFER = 'sa.offer'
+#: VIRQ_SA_UPCALL in flight over the event channel.
+PHASE_VIRQ = 'sa.virq'
+#: Guest handler running: vIRQ entry to UPCALL_SOFTIRQ bottom half.
+PHASE_UPCALL = 'sa.upcall'
+#: Context switch of the doomed task into migrator limbo (instant).
+PHASE_DESCHEDULE = 'sa.deschedule'
+#: Acknowledgement hypercall travelling back to the hypervisor.
+PHASE_ACK = 'sa.ack'
+#: The deferred involuntary preemption completing (instant).
+PHASE_PREEMPT_FIRE = 'sa.preempt_fire'
+#: Migrator thread: target search to task placement (incl. requeues).
+PHASE_MIGRATE = 'sa.migrate'
+#: Delay-preemption baseline: one guest-requested no-preempt window.
+PHASE_DP_DEFER = 'dp.defer'
+
+#: Report order: the offer -> ack chain first, then the async tail.
+SA_PHASES = (
+    PHASE_OFFER,
+    PHASE_VIRQ,
+    PHASE_UPCALL,
+    PHASE_DESCHEDULE,
+    PHASE_ACK,
+    PHASE_PREEMPT_FIRE,
+    PHASE_MIGRATE,
+)
+
+ALL_PHASES = SA_PHASES + (PHASE_DP_DEFER,)
+
+#: One-line meaning per phase (report/doc rendering).
+PHASE_DESCRIPTIONS = {
+    PHASE_OFFER: 'offer -> guest acknowledgement (the preemption delay)',
+    PHASE_VIRQ: 'event-channel delivery of VIRQ_SA_UPCALL',
+    PHASE_UPCALL: 'guest vIRQ handler + UPCALL_SOFTIRQ bottom half',
+    PHASE_DESCHEDULE: 'context switch into migrator limbo',
+    PHASE_ACK: 'SCHEDOP acknowledgement hypercall',
+    PHASE_PREEMPT_FIRE: 'deferred preemption completing',
+    PHASE_MIGRATE: 'migrator pick -> task placed (or parked home)',
+    PHASE_DP_DEFER: 'delay-preemption no-preempt window',
+}
+
+
+def migrate_track(task_name):
+    """Track name for the asynchronous migration of one task."""
+    return 'migrate:%s' % task_name

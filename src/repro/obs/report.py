@@ -1,0 +1,102 @@
+"""The ``sa-latency`` report: per-phase latency summaries as rows.
+
+Pure data-shaping: given a :class:`~repro.obs.histograms.MetricsRegistry`
+(live or a :class:`~repro.metrics.collector.RunMetrics` snapshot),
+produce the headers/rows the CLI table and the benchmarks consume.
+Kept free of experiment-layer imports so :mod:`repro.obs` never needs
+the harness.
+"""
+
+from .histograms import MetricsRegistry
+from .phases import ALL_PHASES, PHASE_DESCRIPTIONS
+
+SA_LATENCY_HEADERS = ('phase', 'samples', 'p50 (us)', 'p90 (us)',
+                      'p99 (us)', 'max (us)', 'meaning')
+
+
+def _us(value_ns):
+    return value_ns / 1000.0
+
+
+def phase_summaries(registry, phases=ALL_PHASES):
+    """``{phase: summary-dict}`` for every phase with recorded samples,
+    in taxonomy order."""
+    out = {}
+    for phase in phases:
+        metric = registry.get(phase)
+        if metric is None or metric.kind != 'histogram' or metric.count == 0:
+            continue
+        out[phase] = metric.summary()
+    return out
+
+
+def sa_latency_rows(registry, phases=ALL_PHASES):
+    """(headers, rows, notes) of the per-phase latency table.
+
+    ``notes`` maps each phase to its summary dict with additional
+    ``*_us`` conveniences, ready for test assertions.
+    """
+    rows = []
+    notes = {}
+    for phase, summary in phase_summaries(registry, phases).items():
+        rows.append([
+            phase,
+            '%d' % summary['count'],
+            '%.1f' % _us(summary['p50']),
+            '%.1f' % _us(summary['p90']),
+            '%.1f' % _us(summary['p99']),
+            '%.1f' % _us(summary['max']),
+            PHASE_DESCRIPTIONS.get(phase, ''),
+        ])
+        notes[phase] = dict(
+            summary,
+            p50_us=_us(summary['p50']),
+            p90_us=_us(summary['p90']),
+            p99_us=_us(summary['p99']),
+            min_us=_us(summary['min']),
+            max_us=_us(summary['max']),
+        )
+    return list(SA_LATENCY_HEADERS), rows, notes
+
+
+def explain_empty(strategy, spans_enabled):
+    """Why an SA-latency table has no rows - surfaced instead of a
+    table of zeros (CLI polish, not an error)."""
+    if not spans_enabled:
+        return ('span recording was disabled for this run; enable '
+                'observability (e.g. --trace-out or observe=True) to '
+                'collect SA phase latencies')
+    if strategy not in ('irs', 'delay_preempt'):
+        return ("strategy %r never issues scheduler activations, so "
+                "every SA phase histogram is empty; rerun with the "
+                "'irs' strategy to profile the SA protocol" % strategy)
+    return ('no scheduler activations fired during this run (no '
+            'involuntary preemptions hit an SA-capable vCPU); lengthen '
+            'the run or add interference')
+
+
+def format_text_report(registry, title='SA-protocol latency'):
+    """Minimal aligned text rendering (for quick printing without the
+    experiments reporting layer)."""
+    headers, rows, __ = sa_latency_rows(registry)
+    if not rows:
+        return '%s: (no samples)' % title
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, '-' * len(title),
+             '  '.join(h.ljust(w) for h, w in zip(headers, widths))]
+    for row in rows:
+        lines.append('  '.join(c.ljust(w) for c, w in zip(row, widths)))
+    return '\n'.join(lines)
+
+
+__all__ = [
+    'MetricsRegistry',
+    'SA_LATENCY_HEADERS',
+    'explain_empty',
+    'format_text_report',
+    'phase_summaries',
+    'sa_latency_rows',
+]

@@ -1,12 +1,31 @@
-"""Lightweight tracing and counters.
+"""Lightweight tracing, counters, spans, and typed metrics.
 
 The tracer records structured events (time, category, payload) when
 enabled and maintains named counters unconditionally. Counters are the
 backbone of the metrics layer; the event trace exists for debugging and
 for tests that assert on scheduler behaviour sequences.
+
+Two observability hooks ride on every tracer (see ``repro.obs``):
+
+* :attr:`Tracer.spans` - a :class:`~repro.obs.spans.SpanRecorder` for
+  begin/end phase spans (SA protocol probes). Disabled by default;
+  every probe is a single-attribute-test no-op until enabled.
+* :attr:`Tracer.metrics` - the :class:`~repro.obs.histograms.MetricsRegistry`
+  holding typed counters/gauges/histograms. Span durations feed the
+  histogram named after their phase automatically.
+
+Event records are bounded: the ``max_records`` ring keeps the newest
+records and counts evictions under ``trace.dropped``, so a long traced
+run can no longer grow without limit.
 """
 
 from collections import Counter
+
+from ..obs.histograms import MetricsRegistry
+from ..obs.spans import SpanRecorder
+
+#: Default cap on retained trace records (the newest are kept).
+DEFAULT_MAX_RECORDS = 100_000
 
 
 class TraceRecord:
@@ -24,21 +43,47 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects :class:`TraceRecord` entries and named counters."""
+    """Collects :class:`TraceRecord` entries, counters, and spans."""
 
-    def __init__(self, enabled=False, categories=None):
+    def __init__(self, enabled=False, categories=None,
+                 max_records=DEFAULT_MAX_RECORDS):
+        if max_records is not None and max_records < 1:
+            raise ValueError('max_records must be >= 1 (or None)')
         self.enabled = enabled
         self.categories = set(categories) if categories else None
-        self.records = []
+        self.max_records = max_records
         self.counters = Counter()
+        self.metrics = MetricsRegistry()
+        self.spans = SpanRecorder(registry=self.metrics)
+        self.dropped = 0
+        self._records = []
+        self._head = 0              # ring start index once wrapped
+
+    @property
+    def records(self):
+        """Retained trace records, oldest first."""
+        if self._head == 0:
+            return self._records
+        return self._records[self._head:] + self._records[:self._head]
 
     def emit(self, time, category, **detail):
-        """Record a trace event if tracing is on for this category."""
+        """Record a trace event if tracing is on for this category.
+
+        Storage is a ring of ``max_records``: once full, the oldest
+        record is evicted and ``trace.dropped`` incremented."""
         if not self.enabled:
             return
         if self.categories is not None and category not in self.categories:
             return
-        self.records.append(TraceRecord(time, category, detail))
+        record = TraceRecord(time, category, detail)
+        if (self.max_records is not None
+                and len(self._records) >= self.max_records):
+            self._records[self._head] = record
+            self._head = (self._head + 1) % self.max_records
+            self.dropped += 1
+            self.counters['trace.dropped'] += 1
+        else:
+            self._records.append(record)
 
     def count(self, name, amount=1):
         """Increment counter ``name`` by ``amount``."""
@@ -53,6 +98,10 @@ class Tracer:
         return [r for r in self.records if r.category == category]
 
     def clear(self):
-        """Drop all records and counters."""
-        self.records.clear()
+        """Drop all records, counters, spans, and metrics."""
+        self._records = []
+        self._head = 0
+        self.dropped = 0
         self.counters.clear()
+        self.spans.clear()
+        self.metrics.clear()

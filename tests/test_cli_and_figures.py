@@ -8,8 +8,18 @@ from repro.experiments.figures import (
     fig1a,
     fig5,
     fairness_check,
+    sa_latency,
     sa_overhead,
 )
+from repro.experiments.harness import set_default_observability
+from repro.obs.exporters import load_chrome_trace, validate_chrome_trace
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """CLI flags install module-global defaults; keep tests isolated."""
+    yield
+    set_default_observability(None)
 
 
 class TestCli:
@@ -35,6 +45,37 @@ class TestCli:
         content = target.read_text()
         assert 'SA processing delay' in content
 
+    def test_dashed_figure_alias(self, capsys):
+        assert main(['sa-latency']) == 0
+        out = capsys.readouterr().out
+        assert 'SA-protocol phase latency' in out
+        assert 'sa.offer' in out
+
+    def test_trace_out_writes_valid_trace(self, tmp_path, capsys):
+        target = tmp_path / 'trace.json'
+        assert main(['sa-latency', '--trace-out', str(target)]) == 0
+        events = load_chrome_trace(str(target))
+        assert events
+        assert validate_chrome_trace(events) == []
+
+    def test_trace_out_unwritable_is_clean_error(self, tmp_path, capsys):
+        target = tmp_path / 'missing-dir' / 'trace.json'
+        with pytest.raises(SystemExit) as excinfo:
+            main(['sa-latency', '--trace-out', str(target)])
+        assert excinfo.value.code == 2          # argparse error, not a
+        err = capsys.readouterr().err           # traceback
+        assert 'cannot write --trace-out file' in err
+
+    def test_unknown_strategy_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(['sa-latency', '--strategy', 'bogus'])
+        assert 'unknown strategy' in capsys.readouterr().err
+
+    def test_strategy_forwarded_to_driver(self, capsys):
+        assert main(['sa-latency', '--strategy', 'vanilla']) == 0
+        out = capsys.readouterr().out
+        assert 'never issues scheduler activations' in out
+
 
 class TestFigureDrivers:
     """Smoke tests on small figure slices; the benchmarks exercise the
@@ -55,6 +96,19 @@ class TestFigureDrivers:
     def test_sa_overhead_notes(self):
         result = sa_overhead(quick=True)
         assert 20 <= result.notes['mean_us'] <= 26
+
+    def test_sa_latency_band(self):
+        result = sa_latency(quick=True)
+        offer = result.notes['sa.offer']
+        assert offer['count'] > 0
+        assert 20 <= offer['p50_us'] <= 26
+        assert 20 <= offer['p99_us'] <= 26
+
+    def test_sa_latency_empty_explained(self):
+        result = sa_latency(quick=True, strategy='vanilla')
+        assert 'empty_reason' in result.notes
+        assert len(result.rows) == 1
+        assert 'vanilla' in result.notes['empty_reason']
 
     def test_fairness_check_notes(self):
         result = fairness_check(quick=True, apps=('streamcluster',))

@@ -24,6 +24,14 @@ class TestSampling:
         sim.run_until(500 * MS)
         assert 90 <= len(recorder.samples) <= 101
 
+    def test_first_sample_captures_start_state(self, sim):
+        machine, vm_a, vm_b = contended(sim)
+        recorder = TimelineRecorder(sim, machine, period_ns=5 * MS).start()
+        sim.run_until(1 * MS)
+        # The first sample fires at the start instant, not one period in.
+        assert recorder.samples
+        assert recorder.samples[0].time == 0
+
     def test_stop_halts_sampling(self, sim):
         machine, vm_a, vm_b = contended(sim)
         recorder = TimelineRecorder(sim, machine, period_ns=5 * MS).start()

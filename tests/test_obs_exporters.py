@@ -1,0 +1,175 @@
+"""Schema tests for the Chrome trace-event exporter."""
+
+from repro.metrics import TimelineSample
+from repro.obs.exporters import (
+    PID_GUEST,
+    PID_HYPERVISOR,
+    PID_SA,
+    chrome_trace_events,
+    load_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.spans import SpanRecorder
+from repro.simkernel.units import MS
+
+
+class _Pcpu:
+    def __init__(self, index):
+        self.index = index
+
+
+class _Vcpu:
+    def __init__(self, name):
+        self.name = name
+
+
+class _Vm:
+    def __init__(self, vcpu_names):
+        self.vcpus = [_Vcpu(n) for n in vcpu_names]
+
+
+class _Machine:
+    def __init__(self, n_pcpus, vcpu_names):
+        self.pcpus = [_Pcpu(i) for i in range(n_pcpus)]
+        self.vms = [_Vm(vcpu_names)]
+
+
+class _Timeline:
+    def __init__(self, samples):
+        self.samples = samples
+
+
+def sample(t, states, tasks, homes):
+    return TimelineSample(t, states, tasks, homes)
+
+
+def small_timeline():
+    """Two vCPUs trading one pCPU over three samples."""
+    machine = _Machine(1, ['a.v0', 'b.v0'])
+    samples = [
+        sample(0, {'a.v0': 'running', 'b.v0': 'runnable'},
+               {'a.v0': 'hog', 'b.v0': None}, {'a.v0': 0, 'b.v0': 0}),
+        sample(1 * MS, {'a.v0': 'runnable', 'b.v0': 'running'},
+               {'a.v0': None, 'b.v0': 'hog2'}, {'a.v0': 0, 'b.v0': 0}),
+        sample(2 * MS, {'a.v0': 'runnable', 'b.v0': 'running'},
+               {'a.v0': None, 'b.v0': 'hog2'}, {'a.v0': 0, 'b.v0': 0}),
+    ]
+    return machine, _Timeline(samples)
+
+
+def sa_spans():
+    r = SpanRecorder(enabled=True)
+    offer = r.begin(1000, 'sa.offer', 'fg.v0', vm='fg')
+    r.begin(1000, 'sa.virq', 'fg.v0')
+    r.end_phase(3000, 'sa.virq', 'fg.v0')
+    r.begin(3000, 'sa.upcall', 'fg.v0')
+    r.instant(24_000, 'sa.deschedule', 'fg.v0', op='yield')
+    r.end_phase(24_000, 'sa.upcall', 'fg.v0')
+    r.end(24_000, offer, outcome='acked')
+    return r
+
+
+class TestSchema:
+    def test_metadata_only_document_valid(self):
+        events = chrome_trace_events()
+        assert events
+        assert validate_chrome_trace(events) == []
+        assert all(e['ph'] == 'M' for e in events)
+
+    def test_timeline_tracks(self):
+        machine, timeline = small_timeline()
+        events = chrome_trace_events(machine=machine, timeline=timeline)
+        assert validate_chrome_trace(events) == []
+        hv = [e for e in events if e['pid'] == PID_HYPERVISOR
+              and e['ph'] == 'X']
+        assert [e['name'] for e in hv] == ['a.v0', 'b.v0']
+        guest = [e for e in events if e['pid'] == PID_GUEST
+                 and e['ph'] == 'X']
+        assert {e['name'] for e in guest} == {'hog', 'hog2'}
+
+    def test_span_tracks_nest(self):
+        events = chrome_trace_events(spans=sa_spans())
+        assert validate_chrome_trace(events) == []
+        sa = [e for e in events if e['pid'] == PID_SA and e['ph'] != 'M']
+        # Balanced pairs for offer/virq/upcall, one X for the instant.
+        assert sum(1 for e in sa if e['ph'] == 'B') == 3
+        assert sum(1 for e in sa if e['ph'] == 'E') == 3
+        assert sum(1 for e in sa if e['ph'] == 'X') == 1
+        # ts is microseconds.
+        begin_offer = next(e for e in sa if e['ph'] == 'B'
+                           and e['name'] == 'sa.offer')
+        assert begin_offer['ts'] == 1.0
+        # Begin-time and end-time details merge into one args dict.
+        assert begin_offer['args'] == {'vm': 'fg', 'outcome': 'acked'}
+
+    def test_required_keys_everywhere(self):
+        machine, timeline = small_timeline()
+        events = chrome_trace_events(machine=machine, timeline=timeline,
+                                     spans=sa_spans())
+        for event in events:
+            for key in ('ph', 'ts', 'pid', 'tid'):
+                assert key in event
+
+    def test_monotone_ts_per_track(self):
+        events = chrome_trace_events(spans=sa_spans())
+        last = {}
+        for event in events:
+            if event['ph'] == 'M':
+                continue
+            track = (event['pid'], event['tid'])
+            assert event['ts'] >= last.get(track, 0.0)
+            last[track] = event['ts']
+
+
+class TestValidator:
+    def test_flags_missing_keys(self):
+        problems = validate_chrome_trace([{'ph': 'B', 'ts': 0.0}])
+        assert any('missing' in p for p in problems)
+
+    def test_flags_unbalanced_begin(self):
+        events = [{'name': 'x', 'ph': 'B', 'ts': 0.0, 'pid': 1, 'tid': 0}]
+        problems = validate_chrome_trace(events)
+        assert any('unbalanced' in p for p in problems)
+
+    def test_flags_interleaved_end(self):
+        events = [
+            {'name': 'a', 'ph': 'B', 'ts': 0.0, 'pid': 1, 'tid': 0},
+            {'name': 'b', 'ph': 'B', 'ts': 1.0, 'pid': 1, 'tid': 0},
+            {'name': 'a', 'ph': 'E', 'ts': 2.0, 'pid': 1, 'tid': 0},
+            {'name': 'b', 'ph': 'E', 'ts': 3.0, 'pid': 1, 'tid': 0},
+        ]
+        problems = validate_chrome_trace(events)
+        assert any('interleaves' in p for p in problems)
+
+    def test_flags_backwards_ts(self):
+        events = [
+            {'name': 'a', 'ph': 'X', 'ts': 5.0, 'dur': 1.0,
+             'pid': 1, 'tid': 0},
+            {'name': 'b', 'ph': 'X', 'ts': 2.0, 'dur': 1.0,
+             'pid': 1, 'tid': 0},
+        ]
+        problems = validate_chrome_trace(events)
+        assert any('backwards' in p for p in problems)
+
+    def test_flags_x_without_dur(self):
+        events = [{'name': 'a', 'ph': 'X', 'ts': 0.0, 'pid': 1, 'tid': 0}]
+        problems = validate_chrome_trace(events)
+        assert any('without dur' in p for p in problems)
+
+
+class TestRoundTrip:
+    def test_write_flushes_open_spans(self, tmp_path):
+        machine, timeline = small_timeline()
+        spans = sa_spans()
+        spans.begin(30_000, 'sa.offer', 'fg.v1')       # still in flight
+        path = tmp_path / 'trace.json'
+        count = write_chrome_trace(str(path), machine=machine,
+                                   timeline=timeline, spans=spans,
+                                   now_ns=40_000)
+        events = load_chrome_trace(str(path))
+        assert len(events) == count
+        assert validate_chrome_trace(events) == []
+        truncated = [e for e in events
+                     if e.get('args', {}).get('truncated')]
+        assert len(truncated) == 1

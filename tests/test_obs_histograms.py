@@ -1,0 +1,155 @@
+"""Unit tests for the log-bucketed histogram and the metrics registry."""
+
+import pytest
+
+from repro.obs.histograms import (
+    CounterMetric,
+    GaugeMetric,
+    LogHistogram,
+    MetricsRegistry,
+    SUB_BUCKETS,
+)
+from repro.simkernel.units import US
+
+
+class TestLogHistogram:
+    def test_empty(self):
+        h = LogHistogram('x')
+        assert h.count == 0
+        assert h.mean() == 0.0
+        assert h.percentile(50) == 0.0
+        assert h.summary()['count'] == 0
+
+    def test_single_value_exact(self):
+        h = LogHistogram('x')
+        h.record(23 * US)
+        assert h.min == h.max == 23 * US
+        assert h.p50() == 23 * US
+        assert h.p99() == 23 * US
+
+    def test_small_values_are_exact(self):
+        h = LogHistogram('x')
+        for v in (0, 1, 5, 15):
+            h.record(v)
+        assert h._bucket_index(0) == 0
+        assert h._bucket_index(SUB_BUCKETS - 1) == SUB_BUCKETS - 1
+        assert h.min == 0
+        assert h.max == 15
+
+    def test_negative_rejected(self):
+        h = LogHistogram('x')
+        with pytest.raises(ValueError):
+            h.record(-1)
+
+    def test_bucket_bounds_contain_value(self):
+        for value in (3, 17, 100, 1023, 20_000, 23_456, 10**9):
+            index = LogHistogram._bucket_index(value)
+            low, high = LogHistogram._bucket_bounds(index)
+            assert low <= value < high
+
+    def test_relative_error_in_sa_band(self):
+        # The paper's 20-26 us band must be resolved to ~1 us, i.e.
+        # better than 1/SUB_BUCKETS relative error.
+        h = LogHistogram('x')
+        for us in range(20, 27):
+            for __ in range(100):
+                h.record(us * US)
+        assert 20 * US <= h.p50() <= 26 * US
+        assert abs(h.p50() - 23 * US) <= 2 * US
+        assert h.p99() <= 26 * US
+        assert h.percentile(0) == 20 * US
+        assert h.percentile(100) == 26 * US
+
+    def test_percentile_clamped_to_extremes(self):
+        h = LogHistogram('x')
+        h.record(1000)
+        h.record(1001)
+        assert h.percentile(0) >= 1000
+        assert h.percentile(100) <= 1001
+
+    def test_percentile_range_checked(self):
+        h = LogHistogram('x')
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_merge(self):
+        a = LogHistogram('a')
+        b = LogHistogram('b')
+        for v in (10, 20, 30):
+            a.record(v * US)
+        for v in (40, 50):
+            b.record(v * US)
+        a.merge(b)
+        assert a.count == 5
+        assert a.min == 10 * US
+        assert a.max == 50 * US
+
+    def test_merge_empty_is_noop(self):
+        a = LogHistogram('a')
+        a.record(5)
+        a.merge(LogHistogram('b'))
+        assert a.count == 1
+
+    def test_copy_is_independent(self):
+        a = LogHistogram('a')
+        a.record(5)
+        b = a.copy()
+        b.record(6)
+        assert a.count == 1
+        assert b.count == 2
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        c = CounterMetric('c')
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = GaugeMetric('g')
+        g.set(3)
+        g.set(1)
+        assert g.value == 1
+
+
+class TestMetricsRegistry:
+    def test_get_or_create(self):
+        r = MetricsRegistry()
+        assert r.counter('a') is r.counter('a')
+        assert len(r) == 1
+
+    def test_kind_is_sticky(self):
+        r = MetricsRegistry()
+        r.counter('a')
+        with pytest.raises(TypeError):
+            r.histogram('a')
+
+    def test_prefix_views(self):
+        r = MetricsRegistry()
+        r.counter('irs.sa_sent').inc(3)
+        r.counter('hv.wakes').inc(1)
+        r.histogram('sa.offer').record(23 * US)
+        assert r.counter_values(prefixes=('irs.',)) == {'irs.sa_sent': 3}
+        assert list(r.histogram_summaries()) == ['sa.offer']
+        assert r.names(kind='counter') == ['hv.wakes', 'irs.sa_sent']
+
+    def test_snapshot_is_frozen(self):
+        r = MetricsRegistry()
+        r.counter('c').inc(1)
+        r.histogram('h').record(10)
+        snap = r.snapshot()
+        r.counter('c').inc(10)
+        r.histogram('h').record(20)
+        assert snap.get('c').value == 1
+        assert snap.get('h').count == 1
+
+    def test_contains_iter_clear(self):
+        r = MetricsRegistry()
+        r.gauge('g').set(1)
+        assert 'g' in r
+        assert list(r) == ['g']
+        r.clear()
+        assert len(r) == 0

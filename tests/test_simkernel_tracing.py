@@ -71,6 +71,72 @@ class TestRecords:
         assert t.counters['c'] == 0
 
 
+class TestRingBuffer:
+    def test_cap_keeps_newest(self):
+        t = Tracer(enabled=True, max_records=3)
+        for i in range(5):
+            t.emit(i, 'cat')
+        assert [r.time for r in t.records] == [2, 3, 4]
+        assert t.dropped == 2
+        assert t.counters['trace.dropped'] == 2
+
+    def test_below_cap_drops_nothing(self):
+        t = Tracer(enabled=True, max_records=10)
+        t.emit(1, 'cat')
+        assert t.dropped == 0
+        assert len(t.records) == 1
+
+    def test_unbounded_with_none(self):
+        t = Tracer(enabled=True, max_records=None)
+        for i in range(5):
+            t.emit(i, 'cat')
+        assert len(t.records) == 5
+
+    def test_invalid_cap_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            Tracer(max_records=0)
+
+    def test_clear_resets_ring(self):
+        t = Tracer(enabled=True, max_records=2)
+        for i in range(4):
+            t.emit(i, 'cat')
+        t.clear()
+        assert t.records == []
+        assert t.dropped == 0
+        t.emit(9, 'cat')
+        assert [r.time for r in t.records] == [9]
+
+    def test_records_for_respects_ring_order(self):
+        t = Tracer(enabled=True, max_records=4)
+        for i in range(6):
+            t.emit(i, 'a' if i % 2 == 0 else 'b')
+        assert [r.time for r in t.records_for('a')] == [2, 4]
+
+
+class TestObservabilityHooks:
+    def test_spans_and_metrics_attached(self):
+        t = Tracer()
+        assert not t.spans.enabled
+        assert t.spans.registry is t.metrics
+        assert len(t.metrics) == 0
+
+    def test_span_duration_feeds_metrics(self):
+        t = Tracer()
+        t.spans.enabled = True
+        span = t.spans.begin(0, 'sa.offer', 'v0')
+        t.spans.end(23_000, span)
+        assert t.metrics.histogram('sa.offer').count == 1
+
+    def test_clear_resets_spans_and_metrics(self):
+        t = Tracer()
+        t.spans.enabled = True
+        t.spans.instant(1, 'p', 'v0')
+        t.clear()
+        assert t.spans.spans == []
+        assert len(t.metrics) == 0
+
+
 class TestUnits:
     def test_conversions(self):
         assert ns_to_ms(30 * MS) == 30.0
