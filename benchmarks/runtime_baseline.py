@@ -1,0 +1,97 @@
+"""Timing harness for the run-spec pipeline: serial vs --jobs vs cache.
+
+Times each quick figure three ways — SerialExecutor, ParallelRunner,
+and a second cached pass — and writes ``BENCH_runtimes.json`` at the
+repo root so the wall-time trajectory of the pipeline is tracked in
+version control.
+
+Not collected by pytest (no ``test_`` prefix); run directly:
+
+    PYTHONPATH=src python benchmarks/runtime_baseline.py [--jobs N]
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), '..', 'src'))
+
+from repro.experiments import (            # noqa: E402
+    ParallelRunner,
+    ResultCache,
+    SerialExecutor,
+    pipeline_counters,
+    set_default_cache,
+    set_default_executor,
+)
+from repro.experiments.figures import fig1a, fig10, sa_overhead  # noqa: E402
+
+FIGURES = {
+    'fig1a': lambda: fig1a(quick=True),
+    'fig10-quick': lambda: fig10(quick=True),
+    'sa_overhead': lambda: sa_overhead(quick=True),
+}
+
+
+def _timed(driver):
+    start = time.perf_counter()
+    driver()
+    return round(time.perf_counter() - start, 4)
+
+
+def measure(jobs):
+    results = {}
+    for name, driver in FIGURES.items():
+        entry = {}
+        set_default_cache(None)
+        set_default_executor(SerialExecutor())
+        entry['serial_s'] = _timed(driver)
+        set_default_executor(ParallelRunner(jobs=jobs))
+        entry[f'jobs{jobs}_s'] = _timed(driver)
+        with tempfile.TemporaryDirectory() as tmp:
+            set_default_executor(None)
+            set_default_cache(ResultCache(root=tmp))
+            entry['cache_cold_s'] = _timed(driver)
+            before = pipeline_counters()
+            entry['cache_warm_s'] = _timed(driver)
+            after = pipeline_counters()
+            dispatched = (after.get('executor.dispatched', 0)
+                          - before.get('executor.dispatched', 0))
+            if dispatched:
+                raise AssertionError(
+                    f'{name}: warm cache pass dispatched {dispatched} runs')
+        set_default_cache(None)
+        set_default_executor(None)
+        results[name] = entry
+        print(f'{name}: {entry}')
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument('--jobs', type=int,
+                        default=min(4, os.cpu_count() or 1))
+    parser.add_argument('--out', default=os.path.join(
+        os.path.dirname(__file__), '..', 'BENCH_runtimes.json'))
+    args = parser.parse_args(argv)
+
+    payload = {
+        'harness': 'benchmarks/runtime_baseline.py',
+        'python': platform.python_version(),
+        'cpu_count': os.cpu_count(),
+        'jobs': args.jobs,
+        'figures': measure(args.jobs),
+    }
+    with open(args.out, 'w') as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write('\n')
+    print(f'wrote {os.path.abspath(args.out)}')
+    return 0
+
+
+if __name__ == '__main__':
+    raise SystemExit(main())

@@ -1,5 +1,28 @@
-"""Experiment harness: topologies, strategies, runners, figure drivers."""
+"""Experiment harness: topologies, strategies, runners, figure drivers.
 
+The run pipeline has three explicit stages:
+
+* :mod:`~repro.experiments.spec` — frozen :class:`RunSpec` values that
+  fully determine a run, and the serializable :class:`RunOutcome`;
+* :mod:`~repro.experiments.executor` — pluggable executors
+  (:class:`SerialExecutor`, :class:`ParallelRunner`) mapping spec
+  batches to outcomes, fronted by :func:`run_specs`;
+* :mod:`~repro.experiments.cache` — the determinism-keyed on-disk
+  :class:`ResultCache` (spec + code fingerprint).
+"""
+
+from .cache import ResultCache, code_fingerprint, pipeline_counters
+from .executor import (
+    ParallelRunner,
+    RunError,
+    SerialExecutor,
+    execute_spec,
+    run_spec,
+    run_spec_file,
+    run_specs,
+    set_default_cache,
+    set_default_executor,
+)
 from .figures import ALL_FIGURES
 from .harness import (
     ParallelRunResult,
@@ -9,7 +32,16 @@ from .harness import (
     ServerRunResult,
 )
 from .reporting import FigureResult, format_table
-from .spec import SpecError, parse_spec, run_spec, run_spec_file
+from .spec import (
+    RunOutcome,
+    RunSpec,
+    SpecError,
+    parallel_spec,
+    parse_spec,
+    probe_spec,
+    server_spec,
+    spec_from_dict,
+)
 from .sweeps import Sweep, SweepPoint
 from .strategies import (
     ALL_STRATEGIES,
@@ -30,9 +62,14 @@ from .topology import (
 __all__ = [
     'ALL_FIGURES',
     'ALL_STRATEGIES', 'apply_strategy', 'build_scenario',
-    'COMPARISON_STRATEGIES', 'FigureResult', 'format_table',
-    'InterferenceSpec', 'IRS', 'NO_INTERFERENCE', 'ParallelRunResult',
-    'PLE', 'RELAXED_CO', 'run_migration_probe', 'run_parallel',
-    'run_server', 'run_spec', 'run_spec_file', 'parse_spec', 'Scenario',
-    'ServerRunResult', 'SpecError', 'Sweep', 'SweepPoint', 'VANILLA',
+    'code_fingerprint', 'COMPARISON_STRATEGIES', 'execute_spec',
+    'FigureResult', 'format_table', 'InterferenceSpec', 'IRS',
+    'NO_INTERFERENCE', 'ParallelRunner', 'ParallelRunResult',
+    'parallel_spec', 'parse_spec', 'pipeline_counters', 'PLE',
+    'probe_spec', 'RELAXED_CO', 'ResultCache', 'RunError', 'RunOutcome',
+    'RunSpec', 'run_migration_probe', 'run_parallel', 'run_server',
+    'run_spec', 'run_spec_file', 'run_specs', 'Scenario',
+    'ServerRunResult', 'server_spec', 'set_default_cache',
+    'set_default_executor', 'SpecError', 'spec_from_dict', 'Sweep',
+    'SweepPoint', 'VANILLA',
 ]

@@ -1,0 +1,153 @@
+"""Determinism-keyed on-disk result cache.
+
+Because a :class:`~repro.experiments.spec.RunSpec` fully determines its
+outcome (the simulator is bit-deterministic in its inputs), a cached
+:class:`~repro.experiments.spec.RunOutcome` is indistinguishable from a
+fresh one — *as long as the code that produced it is the same code*.
+The cache key is therefore content-addressed twice over::
+
+    key = sha256(spec.cache_token() + code_fingerprint())
+
+where the code fingerprint hashes every ``.py`` file of the installed
+:mod:`repro` package. Edit any source file and the whole cache
+invalidates; change any spec field and only that entry misses.
+
+Entries live under ``.benchmarks/runcache/`` as pickled envelopes (the
+outcome embeds a :class:`~repro.metrics.collector.RunMetrics`, which is
+not JSON-shaped). Unreadable or mismatched entries are treated as
+misses and removed. Hit/miss/store counters are surfaced through a
+module-level :class:`~repro.obs.histograms.MetricsRegistry`
+(:data:`METRICS`) so the CLI and tests can assert on them.
+
+When NOT to trust the cache: any determinism input that is *not* part
+of the spec. Today that is (a) an ambient
+:class:`~repro.experiments.harness.ObservabilityConfig` with a
+``trace_out`` export (a side effect a cache hit would skip) and (b) an
+ambient fault plan installed without its campaign text (unkeyable).
+:func:`~repro.experiments.executor.run_specs` detects both and bypasses
+the cache rather than serving wrong entries.
+"""
+
+import hashlib
+import os
+import pickle
+
+from ..obs.histograms import MetricsRegistry
+from .spec import RunOutcome, RunSpec  # noqa: F401  (re-export for users)
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = os.path.join('.benchmarks', 'runcache')
+
+#: Envelope format version; bump on incompatible layout changes.
+CACHE_FORMAT = 1
+
+#: Shared pipeline metrics: runcache.* here, executor.* from the
+#: executor module. One registry so a single snapshot shows the whole
+#: pipeline's counters.
+METRICS = MetricsRegistry()
+
+_fingerprint_memo = {}
+
+
+def code_fingerprint(package_root=None):
+    """Stable hash of every ``.py`` source file under ``package_root``
+    (default: the installed :mod:`repro` package). Computed once per
+    process per root."""
+    if package_root is None:
+        import repro
+        package_root = os.path.dirname(os.path.abspath(repro.__file__))
+    package_root = os.path.abspath(package_root)
+    memo = _fingerprint_memo.get(package_root)
+    if memo is not None:
+        return memo
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(package_root)):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if not filename.endswith('.py'):
+                continue
+            path = os.path.join(dirpath, filename)
+            digest.update(os.path.relpath(path, package_root).encode())
+            with open(path, 'rb') as handle:
+                digest.update(hashlib.sha256(handle.read()).digest())
+    fingerprint = digest.hexdigest()
+    _fingerprint_memo[package_root] = fingerprint
+    return fingerprint
+
+
+class ResultCache:
+    """Content-addressed store of RunSpec -> RunOutcome.
+
+    ``root`` is created lazily on the first store. ``fingerprint``
+    defaults to :func:`code_fingerprint`; tests pin it to exercise
+    invalidation.
+    """
+
+    def __init__(self, root=DEFAULT_CACHE_DIR, fingerprint=None):
+        self.root = root
+        self.fingerprint = fingerprint or code_fingerprint()
+
+    def key(self, spec):
+        """Hex cache key of ``spec`` under the current code."""
+        token = spec.cache_token() + '\n' + self.fingerprint
+        return hashlib.sha256(token.encode()).hexdigest()
+
+    def _path(self, key):
+        return os.path.join(self.root, key + '.pkl')
+
+    def load(self, spec):
+        """The cached outcome for ``spec``, or None. Counts
+        ``runcache.hit`` / ``runcache.miss``; drops corrupt entries."""
+        path = self._path(self.key(spec))
+        try:
+            with open(path, 'rb') as handle:
+                envelope = pickle.load(handle)
+        except FileNotFoundError:
+            METRICS.counter('runcache.miss').inc()
+            return None
+        except Exception:
+            # Torn write, stale pickle protocol, garbage: a miss, and
+            # the entry is gone so it cannot keep failing.
+            self._evict(path)
+            METRICS.counter('runcache.miss').inc()
+            return None
+        if (not isinstance(envelope, dict)
+                or envelope.get('format') != CACHE_FORMAT
+                or envelope.get('token') != spec.cache_token()):
+            self._evict(path)
+            METRICS.counter('runcache.miss').inc()
+            return None
+        METRICS.counter('runcache.hit').inc()
+        return envelope['outcome']
+
+    def store(self, spec, outcome):
+        """Persist ``outcome`` under ``spec``'s key (atomic replace)."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self._path(self.key(spec))
+        envelope = {'format': CACHE_FORMAT, 'token': spec.cache_token(),
+                    'outcome': outcome}
+        tmp = path + '.tmp.%d' % os.getpid()
+        with open(tmp, 'wb') as handle:
+            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        METRICS.counter('runcache.store').inc()
+
+    @staticmethod
+    def _evict(path):
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def __len__(self):
+        try:
+            return sum(1 for name in os.listdir(self.root)
+                       if name.endswith('.pkl'))
+        except OSError:
+            return 0
+
+
+def pipeline_counters():
+    """Snapshot of the pipeline's counters (runcache.* and executor.*),
+    for tests and the CLI summary line."""
+    return METRICS.counter_values()

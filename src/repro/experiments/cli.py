@@ -5,16 +5,25 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments fig5
     python -m repro.experiments fig6 --full
-    python -m repro.experiments all --out results.txt
+    python -m repro.experiments all --out results.txt --jobs 4
+    python -m repro.experiments fig5 --no-cache
     python -m repro.experiments my_experiment.json     # declarative spec
 """
 
 import argparse
 import inspect
+import os
 import sys
 import time
 
 from ..faults import CAMPAIGNS, parse_fault_plan
+from .cache import DEFAULT_CACHE_DIR, ResultCache, pipeline_counters
+from .executor import (
+    ParallelRunner,
+    run_spec_file,
+    set_default_cache,
+    set_default_executor,
+)
 from .figures import ALL_FIGURES
 from .harness import (
     ObservabilityConfig,
@@ -22,7 +31,6 @@ from .harness import (
     set_default_observability,
 )
 from .reporting import format_table
-from .spec import run_spec_file
 from .strategies import ALL_STRATEGIES, EXTENSION_STRATEGIES
 
 
@@ -44,18 +52,42 @@ def _run_one(name, quick, stream, strategy=None):
 
 def _run_specs(path):
     rows = []
-    for spec, result in run_spec_file(path):
+    for spec, outcome in run_spec_file(path):
         rows.append([
             spec.get('name', spec['app']),
-            result.strategy,
-            ('%.1f' % (result.makespan_ns / 1e6)
-             if result.completed else 'TIMEOUT'),
-            '%.3f' % result.utilization,
+            outcome.strategy,
+            ('%.1f' % (outcome.makespan_ns / 1e6)
+             if outcome.completed else 'TIMEOUT'),
+            '%.3f' % outcome.utilization,
         ])
     print(format_table(
         ['experiment', 'strategy', 'makespan (ms)', 'util/fair-share'],
         rows, title='Spec results: %s' % path))
     return 0
+
+
+def _resolve_jobs(args, parser):
+    """--jobs, falling back to the REPRO_JOBS environment variable."""
+    jobs = args.jobs
+    source = '--jobs'
+    if jobs is None:
+        env = os.environ.get('REPRO_JOBS', '').strip()
+        if env:
+            source = 'REPRO_JOBS'
+            try:
+                jobs = int(env)
+            except ValueError:
+                parser.error('REPRO_JOBS must be an integer, got %r' % env)
+    if jobs is None:
+        return 1
+    if jobs < 1:
+        parser.error('%s must be >= 1, got %d' % (source, jobs))
+    if jobs > 1 and args.trace_out:
+        parser.error(
+            '%s=%d cannot be combined with --trace-out: trace rings live '
+            'in each worker process, so the exported file would be empty; '
+            'rerun serially (--jobs 1) to capture a trace' % (source, jobs))
+    return jobs
 
 
 def main(argv=None):
@@ -72,13 +104,24 @@ def main(argv=None):
                              'default is 1 seed at reduced scale')
     parser.add_argument('--out', metavar='FILE',
                         help='append tables to FILE instead of stdout')
+    parser.add_argument('--jobs', type=int, metavar='N',
+                        help='run simulations across N worker processes '
+                             '(deterministic: results are ordered and '
+                             'bit-identical to --jobs 1); defaults to '
+                             'the REPRO_JOBS environment variable, else 1')
+    parser.add_argument('--cache', action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help='reuse cached run results from %s, keyed by '
+                             'spec + source fingerprint (default: '
+                             'enabled; --no-cache forces fresh runs)'
+                             % DEFAULT_CACHE_DIR)
     parser.add_argument('--trace-out', metavar='FILE', dest='trace_out',
                         help='export a Chrome trace-event JSON timeline '
                              '(open at https://ui.perfetto.dev or '
                              'chrome://tracing) to FILE; enables span '
                              'probes and timeline sampling. The file is '
                              'rewritten per run, so for multi-run figures '
-                             'the last run wins')
+                             'the last run wins. Serial only (--jobs 1)')
     parser.add_argument('--strategy', metavar='NAME',
                         help='scheduling strategy for drivers that take '
                              "one (e.g. sa-latency): %s"
@@ -97,9 +140,11 @@ def main(argv=None):
         return 0
     if args.faults:
         try:
-            set_default_fault_plan(parse_fault_plan(args.faults))
+            set_default_fault_plan(parse_fault_plan(args.faults),
+                                   text=args.faults)
         except ValueError as exc:
             parser.error('%s; --faults=list shows the registry' % exc)
+    jobs = _resolve_jobs(args, parser)
     if args.trace_out:
         try:
             # Fail fast with a clean parser error (permissions, missing
@@ -124,30 +169,43 @@ def main(argv=None):
             print('%-15s %s' % (name, doc))
         return 0
 
-    if args.figure.endswith('.json'):
-        return _run_specs(args.figure)
-
-    # Accept dashed aliases (sa-latency == sa_latency).
-    figure = args.figure.replace('-', '_')
-    names = list(ALL_FIGURES) if figure == 'all' else [figure]
-    unknown = [n for n in names if n not in ALL_FIGURES]
-    if unknown:
-        parser.error('unknown figure %s; try: %s'
-                     % (', '.join(unknown), ', '.join(ALL_FIGURES)))
-
-    stream = sys.stdout
-    handle = None
-    if args.out:
-        handle = open(args.out, 'a')
-        stream = handle
+    previous_executor = set_default_executor(
+        ParallelRunner(jobs=jobs) if jobs > 1 else None)
+    previous_cache = set_default_cache(ResultCache() if args.cache
+                                       else None)
     try:
-        for name in names:
-            _run_one(name, quick=not args.full, stream=stream,
-                     strategy=args.strategy)
+        if args.figure.endswith('.json'):
+            return _run_specs(args.figure)
+
+        # Accept dashed aliases (sa-latency == sa_latency).
+        figure = args.figure.replace('-', '_')
+        names = list(ALL_FIGURES) if figure == 'all' else [figure]
+        unknown = [n for n in names if n not in ALL_FIGURES]
+        if unknown:
+            parser.error('unknown figure %s; try: %s'
+                         % (', '.join(unknown), ', '.join(ALL_FIGURES)))
+
+        stream = sys.stdout
+        handle = None
+        if args.out:
+            handle = open(args.out, 'a')
+            stream = handle
+        try:
+            for name in names:
+                _run_one(name, quick=not args.full, stream=stream,
+                         strategy=args.strategy)
+            if args.cache:
+                counters = pipeline_counters()
+                print('(runcache: %d hits, %d misses)'
+                      % (counters.get('runcache.hit', 0),
+                         counters.get('runcache.miss', 0)), file=stream)
+        finally:
+            if handle is not None:
+                handle.close()
+        return 0
     finally:
-        if handle is not None:
-            handle.close()
-    return 0
+        set_default_executor(previous_executor)
+        set_default_cache(previous_cache)
 
 
 if __name__ == '__main__':

@@ -1,0 +1,309 @@
+"""Pluggable executors: map RunSpec batches to RunOutcomes.
+
+This is the middle stage of the experiments pipeline
+(spec -> executor -> cache). :func:`execute_spec` turns one
+:class:`~repro.experiments.spec.RunSpec` into a serializable
+:class:`~repro.experiments.spec.RunOutcome` by dispatching to the
+matching harness entry point. Two executors map batches:
+
+* :class:`SerialExecutor` — the in-process loop, bit-identical to the
+  historical per-figure loops;
+* :class:`ParallelRunner` — a ``ProcessPoolExecutor`` fan-out with
+  deterministic result ordering (submission order, not completion
+  order) and per-run crash isolation: a failing worker raises
+  :class:`RunError` naming the offending spec, and the remaining
+  futures are cancelled instead of left to hang the pool.
+
+:func:`run_specs` is the front door the figure drivers, sweeps, and the
+CLI use: it deduplicates a batch, consults the active
+:class:`~repro.experiments.cache.ResultCache`, dispatches only the
+misses, and reassembles outcomes in input order. Determinism (same
+spec -> same outcome) is what makes all of that invisible to callers.
+"""
+
+import concurrent.futures
+import os
+
+from ..core import IRSConfig
+from ..faults import parse_fault_plan
+from ..workloads import get_profile, profile_variant
+from .cache import METRICS, ResultCache  # noqa: F401  (ResultCache re-export)
+from .harness import (
+    ObservabilityConfig,
+    default_fault_plan,
+    default_fault_text,
+    default_observability,
+    run_migration_probe,
+    run_parallel,
+    run_server,
+    set_default_fault_plan,
+    set_default_observability,
+)
+from .spec import PARALLEL, PROBE, SERVER, RunOutcome, spec_from_dict
+
+
+class RunError(RuntimeError):
+    """A spec failed to execute. ``spec`` names the failing run so a
+    crashed worker surfaces *which* configuration died rather than a
+    bare pool traceback."""
+
+    def __init__(self, spec, cause):
+        super().__init__('run failed for [%s]: %s: %s'
+                         % (spec.describe(), type(cause).__name__, cause))
+        self.spec = spec
+
+
+def _observability_for(spec):
+    """The observe= argument for one spec: the ambient CLI default
+    (``--trace-out``) wins so exports still happen on the serial path;
+    otherwise the spec's own flags decide."""
+    if default_observability() is not None:
+        return None                      # fall through to the default
+    if spec.spans or spec.timeline:
+        return ObservabilityConfig(trace_out=None, spans=spec.spans,
+                                   timeline=spec.timeline)
+    return None
+
+
+def execute_spec(spec):
+    """Execute one spec in-process; returns its :class:`RunOutcome`.
+
+    Everything that determines the run is taken from the spec itself
+    (fault campaign text, IRS overrides, observability flags), so the
+    result is identical whether this runs in the parent or a worker.
+    """
+    METRICS.counter('executor.runs').inc()
+    observe = _observability_for(spec)
+    fault_plan = parse_fault_plan(spec.faults) if spec.faults else None
+    irs_config = IRSConfig(**dict(spec.irs)) if spec.irs else None
+
+    if spec.kind == PROBE:
+        kind, width, n_vms = spec.interference
+        latency = run_migration_probe(n_vms if width else 0,
+                                      seed=spec.seed, trigger=spec.trigger)
+        return RunOutcome(spec, probe_latency_ns=latency)
+
+    if spec.kind == SERVER:
+        kwargs = {}
+        if spec.warmup_ns is not None:
+            kwargs['warmup_ns'] = spec.warmup_ns
+        if spec.measure_ns is not None:
+            kwargs['measure_ns'] = spec.measure_ns
+        result = run_server(spec.app, spec.strategy,
+                            n_hogs=spec.interference[1], seed=spec.seed,
+                            n_pcpus=spec.n_pcpus, fg_vcpus=spec.fg_vcpus,
+                            irs_config=irs_config, fault_plan=fault_plan,
+                            observe=observe, **kwargs)
+        return RunOutcome(spec, throughput=result.throughput,
+                          latency_summary=result.latency_summary,
+                          metrics=result.metrics)
+
+    kwargs = {}
+    if spec.n_threads is not None:
+        kwargs['n_threads'] = spec.n_threads
+    if spec.timeout_ns is not None:
+        kwargs['timeout_ns'] = spec.timeout_ns
+    if spec.profile_mode is not None:
+        kwargs['profile'] = profile_variant(get_profile(spec.app),
+                                            mode=spec.profile_mode)
+    result = run_parallel(spec.app, spec.strategy, spec.interference_spec,
+                          seed=spec.seed, scale=spec.scale,
+                          n_pcpus=spec.n_pcpus, fg_vcpus=spec.fg_vcpus,
+                          pinned=spec.pinned, irs_config=irs_config,
+                          fault_plan=fault_plan, observe=observe, **kwargs)
+    sender = result.scenario.machine.sa_sender
+    return RunOutcome(spec, makespan_ns=result.makespan_ns,
+                      utilization=result.utilization,
+                      bg_rates=result.bg_rates,
+                      sa_delay_ns=(sender.delay_samples_ns
+                                   if sender is not None else ()),
+                      metrics=result.metrics)
+
+
+def _execute_in_worker(spec):
+    """Worker-process entry: clear any fork-inherited ambient defaults
+    so the spec alone determines the run, then execute."""
+    set_default_fault_plan(None)
+    set_default_observability(None)
+    return execute_spec(spec)
+
+
+class SerialExecutor:
+    """Run a batch in-process, in order."""
+
+    jobs = 1
+
+    def map(self, specs):
+        outcomes = []
+        for spec in specs:
+            METRICS.counter('executor.dispatched').inc()
+            try:
+                outcomes.append(execute_spec(spec))
+            except Exception as exc:
+                raise RunError(spec, exc) from exc
+        return outcomes
+
+    def __repr__(self):
+        return '<SerialExecutor>'
+
+
+class ParallelRunner:
+    """Run a batch across worker processes.
+
+    Results come back in submission order regardless of completion
+    order, so a parallel batch is byte-identical to a serial one. A
+    batch of one (or ``jobs=1``) short-circuits to the serial path —
+    no pool, no pickling.
+    """
+
+    def __init__(self, jobs=None):
+        if jobs is not None and jobs < 1:
+            raise ValueError('jobs must be >= 1')
+        self.jobs = jobs or os.cpu_count() or 1
+
+    def map(self, specs):
+        specs = list(specs)
+        if self.jobs == 1 or len(specs) <= 1:
+            return SerialExecutor().map(specs)
+        workers = min(self.jobs, len(specs))
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = []
+            for spec in specs:
+                METRICS.counter('executor.dispatched').inc()
+                futures.append(pool.submit(_execute_in_worker, spec))
+            outcomes = []
+            for spec, future in zip(specs, futures):
+                try:
+                    outcomes.append(future.result())
+                except Exception as exc:
+                    for pending in futures:
+                        pending.cancel()
+                    raise RunError(spec, exc) from exc
+            return outcomes
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __repr__(self):
+        return '<ParallelRunner jobs=%d>' % self.jobs
+
+
+# Executor / cache applied to every batch that does not pass one
+# explicitly; set from the CLI's --jobs / --cache flags. None means
+# "serial, uncached" — the historical behavior.
+_default_executor = None
+_default_cache = None
+
+_UNSET = object()
+
+
+def set_default_executor(executor):
+    """Install ``executor`` for every subsequent batch (None restores
+    the serial default). Returns the previous executor."""
+    global _default_executor
+    previous = _default_executor
+    _default_executor = executor
+    return previous
+
+
+def default_executor():
+    """The currently installed default executor (or None = serial)."""
+    return _default_executor
+
+
+def set_default_cache(cache):
+    """Install ``cache`` (a :class:`ResultCache` or None) for every
+    subsequent batch. Returns the previous cache."""
+    global _default_cache
+    previous = _default_cache
+    _default_cache = cache
+    return previous
+
+
+def default_cache():
+    """The currently installed default result cache (or None)."""
+    return _default_cache
+
+
+def _normalize(spec):
+    """Fold ambient CLI defaults that affect determinism into the spec
+    itself, so cache keys and worker processes see them."""
+    if spec.faults is None and default_fault_text() is not None:
+        return spec.replace(faults=default_fault_text())
+    return spec
+
+
+def _cache_is_safe():
+    """Whether the ambient harness state is fully captured by spec
+    normalization — if not, serving cached outcomes would be wrong."""
+    obs = default_observability()
+    if obs is not None and getattr(obs, 'trace_out', None):
+        return False            # cache hits would skip the trace export
+    if default_fault_plan() is not None and default_fault_text() is None:
+        return False            # plan installed without keyable text
+    return True
+
+
+def run_specs(specs, executor=None, cache=_UNSET):
+    """Execute a batch of specs; returns outcomes in input order.
+
+    Duplicated specs are executed once (determinism makes the shared
+    outcome exact). ``executor`` defaults to the CLI-installed one
+    (:func:`set_default_executor`), else serial; ``cache`` likewise
+    (pass ``None`` to force uncached execution). Cached entries are
+    bypassed entirely whenever ambient harness state (an installed
+    ``--trace-out`` export, an unkeyable fault plan) is not captured by
+    the specs themselves.
+    """
+    specs = [_normalize(spec) for spec in specs]
+    if executor is None:
+        executor = _default_executor or SerialExecutor()
+    if cache is _UNSET:
+        cache = _default_cache
+    if cache is not None and not _cache_is_safe():
+        cache = None
+
+    unique = []
+    index = {}
+    for spec in specs:
+        if spec not in index:
+            index[spec] = len(unique)
+            unique.append(spec)
+
+    outcomes = [None] * len(unique)
+    misses = []
+    for i, spec in enumerate(unique):
+        cached = cache.load(spec) if cache is not None else None
+        if cached is not None:
+            outcomes[i] = cached
+        else:
+            misses.append(i)
+
+    if misses:
+        fresh = executor.map([unique[i] for i in misses])
+        for i, outcome in zip(misses, fresh):
+            outcomes[i] = outcome
+            if cache is not None:
+                cache.store(unique[i], outcome)
+
+    return [outcomes[index[spec]] for spec in specs]
+
+
+def run_spec(spec):
+    """Execute one JSON-dialect spec dict (or a :class:`RunSpec`);
+    returns its :class:`RunOutcome`."""
+    if isinstance(spec, dict):
+        spec = spec_from_dict(spec)
+    return run_specs([spec])[0]
+
+
+def run_spec_file(path):
+    """Run the spec (or list of specs) in a JSON file as one batch
+    (parallel/cached under the active defaults). Returns a list of
+    ``(spec_dict, outcome)`` pairs."""
+    import json
+    with open(path) as handle:
+        loaded = json.load(handle)
+    spec_dicts = loaded if isinstance(loaded, list) else [loaded]
+    outcomes = run_specs([spec_from_dict(d) for d in spec_dicts])
+    return list(zip(spec_dicts, outcomes))

@@ -6,6 +6,16 @@ series the paper plots; ``result.table()`` renders them. Absolute
 numbers come from our simulated substrate, so only the *shape* (winner,
 rough factors, crossovers) is expected to match the testbed results.
 
+Every driver is two passes over the same grid: pass one builds the
+figure's full batch of declarative
+:class:`~repro.experiments.spec.RunSpec` values, pass two aggregates
+the :class:`~repro.experiments.spec.RunOutcome` of each spec into rows.
+The batch goes through :func:`~repro.experiments.executor.run_specs`
+exactly once, so the active executor (``--jobs``) can fan the whole
+grid out and the result cache (``--cache``) can skip any run it has
+seen — with identical tables either way, because a spec fully
+determines its outcome.
+
 ``quick=True`` (the default) runs one seed at reduced workload scale;
 ``quick=False`` averages several seeds at full scale.
 """
@@ -14,15 +24,10 @@ import statistics
 
 from ..obs.report import explain_empty, sa_latency_rows
 from ..simkernel.units import MS, SEC, US
-from ..workloads import NPB, PARSEC, get_profile, profile_variant
-from .harness import (
-    ObservabilityConfig,
-    default_observability,
-    run_migration_probe,
-    run_parallel,
-    run_server,
-)
+from ..workloads import NPB, PARSEC, get_profile
+from .executor import run_specs
 from .reporting import FigureResult
+from .spec import parallel_spec, probe_spec, server_spec
 from .strategies import COMPARISON_STRATEGIES, IRS, PLE, RELAXED_CO, VANILLA
 from .topology import NO_INTERFERENCE, InterferenceSpec
 
@@ -48,16 +53,29 @@ def _mean(values):
     return statistics.fmean(values)
 
 
-def _avg_makespan(app, strategy, interference, seeds, scale, **kwargs):
-    spans = []
+def _seed_specs(app, strategy, interference, seeds, scale, **kwargs):
+    """One parallel-run spec per seed (the unit the figures average)."""
+    return [parallel_spec(app, strategy, interference, seed=seed,
+                          scale=scale, **kwargs) for seed in seeds]
+
+
+def _outcomes(specs):
+    """Execute the batch once; returns ``{spec: outcome}``. Duplicate
+    specs are fine — determinism makes their outcomes equal."""
+    return dict(zip(specs, run_specs(specs)))
+
+
+def _mean_span(out, specs):
+    return _mean([out[s].makespan_ns for s in specs])
+
+
+def _mean_rate(out, specs):
     rates = []
-    for seed in seeds:
-        result = run_parallel(app, strategy, interference, seed=seed,
-                              scale=scale, **kwargs)
-        spans.append(result.makespan_ns)
-        if result.bg_rates:
-            rates.append(_mean(result.bg_rates))
-    return _mean(spans), _mean(rates)
+    for spec in specs:
+        outcome = out[spec]
+        if outcome.bg_rates:
+            rates.append(_mean(outcome.bg_rates))
+    return _mean(rates)
 
 
 def _improvement(base_ns, strat_ns):
@@ -74,13 +92,24 @@ def fig1a(quick=True):
     """Slowdown of fluidanimate (blocking), UA (spinning), raytrace
     (user-level work stealing) under one interfering VM."""
     cfg = _settings(quick)
+    apps = ('fluidanimate', 'UA', 'raytrace')
+    plan = {}
+    batch = []
+    for app in apps:
+        alone = _seed_specs(app, VANILLA, NO_INTERFERENCE,
+                            cfg['seeds'], cfg['scale'])
+        inter = _seed_specs(app, VANILLA, InterferenceSpec('hogs', 1),
+                            cfg['seeds'], cfg['scale'])
+        plan[app] = (alone, inter)
+        batch += alone + inter
+    out = _outcomes(batch)
+
     rows = []
     notes = {}
-    for app in ('fluidanimate', 'UA', 'raytrace'):
-        alone, __ = _avg_makespan(app, VANILLA, NO_INTERFERENCE,
-                                  cfg['seeds'], cfg['scale'])
-        inter, __ = _avg_makespan(app, VANILLA, InterferenceSpec('hogs', 1),
-                                  cfg['seeds'], cfg['scale'])
+    for app in apps:
+        alone_specs, inter_specs = plan[app]
+        alone = _mean_span(out, alone_specs)
+        inter = _mean_span(out, inter_specs)
         slowdown = inter / alone if alone and inter else None
         rows.append([app, '%.0f' % (alone / MS), '%.0f' % (inter / MS),
                      '%.2fx' % slowdown if slowdown else '--'])
@@ -93,10 +122,15 @@ def fig1a(quick=True):
 def fig1b(quick=True, trials=None):
     """Process-migration latency vs number of interfering VMs."""
     trials = trials or (10 if quick else 30)
+    levels = (0, 1, 2, 3)
+    plan = {n_vms: [probe_spec(n_vms, seed=s) for s in range(trials)]
+            for n_vms in levels}
+    out = _outcomes([spec for specs in plan.values() for spec in specs])
+
     rows = []
     notes = {}
-    for n_vms in (0, 1, 2, 3):
-        lats = [run_migration_probe(n_vms, seed=s) for s in range(trials)]
+    for n_vms in levels:
+        lats = [out[s].probe_latency_ns for s in plan[n_vms]]
         lats = [l for l in lats if l is not None]
         mean_ms = _mean(lats) / MS if lats else None
         label = 'alone' if n_vms == 0 else '%dVM' % n_vms
@@ -118,19 +152,22 @@ def fig2(quick=True):
     cfg = _settings(quick)
     apps = [a for a in PARSEC if a != 'raytrace']
     apps += list(FIG2_NPB) + ['raytrace']
+    plan = {}
+    batch = []
+    for app in apps:
+        # NPB profiles are spinning by default; Figure 2 uses the
+        # blocking build (OMP passive).
+        mode = 'block' if get_profile(app).suite == 'npb' else None
+        specs = _seed_specs(app, VANILLA, InterferenceSpec('hogs', 1),
+                            cfg['seeds'], cfg['scale'], profile_mode=mode)
+        plan[app] = specs
+        batch += specs
+    out = _outcomes(batch)
+
     rows = []
     notes = {}
     for app in apps:
-        profile = get_profile(app)
-        if profile.suite == 'npb':
-            profile = profile_variant(profile, mode='block')
-        utils = []
-        for seed in cfg['seeds']:
-            result = run_parallel(app, VANILLA, InterferenceSpec('hogs', 1),
-                                  seed=seed, scale=cfg['scale'],
-                                  profile=profile)
-            utils.append(result.utilization)
-        value = _mean(utils)
+        value = _mean([out[s].utilization for s in plan[app]])
         rows.append([app, '%.2f' % value])
         notes[app] = value
     return FigureResult(
@@ -146,24 +183,33 @@ def _improvement_grid(apps, interferers, quick, figure_name,
                       widths=INTERFERENCE_WIDTHS,
                       strategies=COMPARISON_STRATEGIES):
     cfg = _settings(quick)
-    rows = []
-    notes = {}
+    plan = []
+    batch = []
     for interferer in interferers:
         for app in apps:
-            if interferer != 'hogs' and app == interferer:
-                pass  # the paper does run app-vs-itself pairs; keep them
             for width in widths:
                 spec = InterferenceSpec(interferer, width)
-                base, __ = _avg_makespan(app, VANILLA, spec, cfg['seeds'],
-                                         cfg['scale'])
-                row = [interferer, app, '%d-inter' % width]
-                for strategy in strategies:
-                    strat, __ = _avg_makespan(app, strategy, spec,
-                                              cfg['seeds'], cfg['scale'])
-                    imp = _improvement(base, strat)
-                    row.append('%+.1f%%' % imp if imp is not None else '--')
-                    notes[(interferer, app, width, strategy)] = imp
-                rows.append(row)
+                base = _seed_specs(app, VANILLA, spec, cfg['seeds'],
+                                   cfg['scale'])
+                per_strategy = {
+                    strategy: _seed_specs(app, strategy, spec,
+                                          cfg['seeds'], cfg['scale'])
+                    for strategy in strategies}
+                plan.append((interferer, app, width, base, per_strategy))
+                batch += base + sum(per_strategy.values(), [])
+    out = _outcomes(batch)
+
+    rows = []
+    notes = {}
+    for interferer, app, width, base_specs, per_strategy in plan:
+        base = _mean_span(out, base_specs)
+        row = [interferer, app, '%d-inter' % width]
+        for strategy in strategies:
+            strat = _mean_span(out, per_strategy[strategy])
+            imp = _improvement(base, strat)
+            row.append('%+.1f%%' % imp if imp is not None else '--')
+            notes[(interferer, app, width, strategy)] = imp
+        rows.append(row)
     headers = ['interferer', 'app', 'level'] + list(strategies)
     return FigureResult(figure_name, headers, rows, notes)
 
@@ -194,27 +240,40 @@ def _weighted_grid(apps, backgrounds, quick, figure_name,
                    widths=INTERFERENCE_WIDTHS,
                    strategies=COMPARISON_STRATEGIES):
     cfg = _settings(quick)
-    rows = []
-    notes = {}
+    plan = []
+    batch = []
     for background in backgrounds:
         for app in apps:
             for width in widths:
                 spec = InterferenceSpec(background, width)
-                base_span, base_rate = _avg_makespan(
-                    app, VANILLA, spec, cfg['seeds'], cfg['scale'])
-                row = [background, app, '%d-inter' % width]
-                for strategy in strategies:
-                    span, rate = _avg_makespan(app, strategy, spec,
-                                               cfg['seeds'], cfg['scale'])
-                    value = None
-                    if (base_span and span and base_rate and rate
-                            and base_rate > 0):
-                        fg_speedup = base_span / span
-                        bg_speedup = rate / base_rate
-                        value = (fg_speedup + bg_speedup) / 2.0 * 100.0
-                    row.append('%.0f%%' % value if value else '--')
-                    notes[(background, app, width, strategy)] = value
-                rows.append(row)
+                base = _seed_specs(app, VANILLA, spec, cfg['seeds'],
+                                   cfg['scale'])
+                per_strategy = {
+                    strategy: _seed_specs(app, strategy, spec,
+                                          cfg['seeds'], cfg['scale'])
+                    for strategy in strategies}
+                plan.append((background, app, width, base, per_strategy))
+                batch += base + sum(per_strategy.values(), [])
+    out = _outcomes(batch)
+
+    rows = []
+    notes = {}
+    for background, app, width, base_specs, per_strategy in plan:
+        base_span = _mean_span(out, base_specs)
+        base_rate = _mean_rate(out, base_specs)
+        row = [background, app, '%d-inter' % width]
+        for strategy in strategies:
+            span = _mean_span(out, per_strategy[strategy])
+            rate = _mean_rate(out, per_strategy[strategy])
+            value = None
+            if (base_span and span and base_rate and rate
+                    and base_rate > 0):
+                fg_speedup = base_span / span
+                bg_speedup = rate / base_rate
+                value = (fg_speedup + bg_speedup) / 2.0 * 100.0
+            row.append('%.0f%%' % value if value else '--')
+            notes[(background, app, width, strategy)] = value
+        rows.append(row)
     headers = ['background', 'app', 'level'] + list(strategies)
     return FigureResult(figure_name, headers, rows, notes)
 
@@ -251,25 +310,36 @@ def fig8(quick=True):
     transactions and barely moves (recorded in EXPERIMENTS.md).
     """
     measure_ns = 2 * SEC if quick else 4 * SEC
+    grid = [(kind, latency_key, n_hogs)
+            for kind, latency_key in (('specjbb', 'p99'), ('ab', 'p99'))
+            for n_hogs in (1, 2, 3, 4)]
+    plan = {}
+    batch = []
+    for kind, __, n_hogs in grid:
+        pair = (server_spec(kind, VANILLA, n_hogs=n_hogs,
+                            measure_ns=measure_ns),
+                server_spec(kind, IRS, n_hogs=n_hogs,
+                            measure_ns=measure_ns))
+        plan[(kind, n_hogs)] = pair
+        batch += list(pair)
+    out = _outcomes(batch)
+
     rows = []
     notes = {}
-    for kind, latency_key in (('specjbb', 'p99'), ('ab', 'p99')):
-        for n_hogs in (1, 2, 3, 4):
-            base = run_server(kind, VANILLA, n_hogs=n_hogs,
-                              measure_ns=measure_ns)
-            irs = run_server(kind, IRS, n_hogs=n_hogs,
-                             measure_ns=measure_ns)
-            thr_imp = ((irs.throughput / base.throughput - 1.0) * 100.0
-                       if base.throughput > 0 else None)
-            base_lat = base.latency_summary[latency_key]
-            irs_lat = irs.latency_summary[latency_key]
-            lat_imp = ((1.0 - irs_lat / base_lat) * 100.0
-                       if base_lat > 0 else None)
-            rows.append([kind, '%d-inter' % n_hogs,
-                         '%+.1f%%' % thr_imp if thr_imp is not None else '--',
-                         '%+.1f%%' % lat_imp if lat_imp is not None else '--',
-                         latency_key])
-            notes[(kind, n_hogs)] = (thr_imp, lat_imp)
+    for kind, latency_key, n_hogs in grid:
+        base_spec, irs_spec = plan[(kind, n_hogs)]
+        base, irs = out[base_spec], out[irs_spec]
+        thr_imp = ((irs.throughput / base.throughput - 1.0) * 100.0
+                   if base.throughput > 0 else None)
+        base_lat = base.latency_summary[latency_key]
+        irs_lat = irs.latency_summary[latency_key]
+        lat_imp = ((1.0 - irs_lat / base_lat) * 100.0
+                   if base_lat > 0 else None)
+        rows.append([kind, '%d-inter' % n_hogs,
+                     '%+.1f%%' % thr_imp if thr_imp is not None else '--',
+                     '%+.1f%%' % lat_imp if lat_imp is not None else '--',
+                     latency_key])
+        notes[(kind, n_hogs)] = (thr_imp, lat_imp)
     return FigureResult(
         'Figure 8: server throughput / latency improvement (IRS)',
         ['server', 'level', 'throughput', 'latency', 'latency metric'],
@@ -288,25 +358,34 @@ def fig10(quick=True, apps=FIG10_APPS):
     for three interference types per app."""
     cfg = _settings(quick)
     widths = (1, 2, 4, 8) if quick else (1, 2, 3, 4, 5, 6, 7, 8)
-    rows = []
-    notes = {}
+    plan = []
+    batch = []
     for app in apps:
         interferers = (NPB_INTERFERERS if get_profile(app).suite == 'npb'
                        else PARSEC_INTERFERERS)
         for interferer in interferers:
-            row = [app, interferer]
+            cells = []
             for width in widths:
                 spec = InterferenceSpec(interferer, width)
-                base, __ = _avg_makespan(app, VANILLA, spec, cfg['seeds'],
-                                         cfg['scale'], n_pcpus=8,
-                                         fg_vcpus=8)
-                strat, __ = _avg_makespan(app, IRS, spec, cfg['seeds'],
-                                          cfg['scale'], n_pcpus=8,
-                                          fg_vcpus=8)
-                imp = _improvement(base, strat)
-                row.append('%+.0f%%' % imp if imp is not None else '--')
-                notes[(app, interferer, width)] = imp
-            rows.append(row)
+                base = _seed_specs(app, VANILLA, spec, cfg['seeds'],
+                                   cfg['scale'], n_pcpus=8, fg_vcpus=8)
+                strat = _seed_specs(app, IRS, spec, cfg['seeds'],
+                                    cfg['scale'], n_pcpus=8, fg_vcpus=8)
+                cells.append((width, base, strat))
+                batch += base + strat
+            plan.append((app, interferer, cells))
+    out = _outcomes(batch)
+
+    rows = []
+    notes = {}
+    for app, interferer, cells in plan:
+        row = [app, interferer]
+        for width, base_specs, strat_specs in cells:
+            imp = _improvement(_mean_span(out, base_specs),
+                               _mean_span(out, strat_specs))
+            row.append('%+.0f%%' % imp if imp is not None else '--')
+            notes[(app, interferer, width)] = imp
+        rows.append(row)
     headers = ['app', 'interferer'] + ['%d-inter' % w for w in widths]
     return FigureResult(
         'Figure 10: IRS gain vs # of interfered vCPUs (8-vCPU VM)',
@@ -316,21 +395,33 @@ def fig10(quick=True, apps=FIG10_APPS):
 def fig11(quick=True, apps=FIG10_APPS):
     """IRS gain vs the number of interfering VMs stacked per pCPU."""
     cfg = _settings(quick)
-    rows = []
-    notes = {}
+    depths = (1, 2, 3)
+    plan = []
+    batch = []
     for app in apps:
         for width in INTERFERENCE_WIDTHS:
-            row = [app, '%d-inter' % width]
-            for n_vms in (1, 2, 3):
+            cells = []
+            for n_vms in depths:
                 spec = InterferenceSpec('hogs', width, n_vms=n_vms)
-                base, __ = _avg_makespan(app, VANILLA, spec, cfg['seeds'],
-                                         cfg['scale'])
-                strat, __ = _avg_makespan(app, IRS, spec, cfg['seeds'],
-                                          cfg['scale'])
-                imp = _improvement(base, strat)
-                row.append('%+.0f%%' % imp if imp is not None else '--')
-                notes[(app, width, n_vms)] = imp
-            rows.append(row)
+                base = _seed_specs(app, VANILLA, spec, cfg['seeds'],
+                                   cfg['scale'])
+                strat = _seed_specs(app, IRS, spec, cfg['seeds'],
+                                    cfg['scale'])
+                cells.append((n_vms, base, strat))
+                batch += base + strat
+            plan.append((app, width, cells))
+    out = _outcomes(batch)
+
+    rows = []
+    notes = {}
+    for app, width, cells in plan:
+        row = [app, '%d-inter' % width]
+        for n_vms, base_specs, strat_specs in cells:
+            imp = _improvement(_mean_span(out, base_specs),
+                               _mean_span(out, strat_specs))
+            row.append('%+.0f%%' % imp if imp is not None else '--')
+            notes[(app, width, n_vms)] = imp
+        rows.append(row)
     return FigureResult(
         'Figure 11: IRS gain vs degree of contention (1-3 interfering VMs)',
         ['app', 'level', '1 VM', '2 VMs', '3 VMs'], rows, notes)
@@ -343,22 +434,31 @@ def fig11(quick=True, apps=FIG10_APPS):
 def _stacking_grid(apps, interferers, quick, figure_name):
     cfg = _settings(quick)
     scale = cfg['scale'] * 0.6      # stacked runs are slow; trim work
-    rows = []
-    notes = {}
+    plan = []
+    batch = []
     for interferer in interferers:
         for app in apps:
             spec = InterferenceSpec(interferer, 4)
-            base, __ = _avg_makespan(app, VANILLA, spec, cfg['seeds'],
-                                     scale, pinned=False)
-            row = [interferer, app]
-            for strategy in COMPARISON_STRATEGIES:
-                strat, __ = _avg_makespan(app, strategy, spec,
-                                          cfg['seeds'], scale,
-                                          pinned=False)
-                imp = _improvement(base, strat)
-                row.append('%+.0f%%' % imp if imp is not None else '--')
-                notes[(interferer, app, strategy)] = imp
-            rows.append(row)
+            base = _seed_specs(app, VANILLA, spec, cfg['seeds'], scale,
+                               pinned=False)
+            per_strategy = {
+                strategy: _seed_specs(app, strategy, spec, cfg['seeds'],
+                                      scale, pinned=False)
+                for strategy in COMPARISON_STRATEGIES}
+            plan.append((interferer, app, base, per_strategy))
+            batch += base + sum(per_strategy.values(), [])
+    out = _outcomes(batch)
+
+    rows = []
+    notes = {}
+    for interferer, app, base_specs, per_strategy in plan:
+        base = _mean_span(out, base_specs)
+        row = [interferer, app]
+        for strategy in COMPARISON_STRATEGIES:
+            imp = _improvement(base, _mean_span(out, per_strategy[strategy]))
+            row.append('%+.0f%%' % imp if imp is not None else '--')
+            notes[(interferer, app, strategy)] = imp
+        rows.append(row)
     headers = ['interferer', 'app'] + list(COMPARISON_STRATEGIES)
     return FigureResult(figure_name, headers, rows, notes)
 
@@ -387,10 +487,9 @@ def sa_overhead(quick=True):
     """Profile the SA processing delay the hypervisor incurs
     (Section 3.1 reports 20-26 us)."""
     cfg = _settings(quick)
-    result = run_parallel('streamcluster', IRS, InterferenceSpec('hogs', 2),
-                          seed=cfg['seeds'][0], scale=cfg['scale'])
-    sender = result.scenario.machine.sa_sender
-    samples = sender.delay_samples_ns
+    spec = parallel_spec('streamcluster', IRS, InterferenceSpec('hogs', 2),
+                         seed=cfg['seeds'][0], scale=cfg['scale'])
+    samples = _outcomes([spec])[spec].sa_delay_ns
     rows = []
     notes = {}
     if samples:
@@ -414,14 +513,15 @@ def sa_latency(quick=True, strategy=IRS):
     """Per-phase SA-protocol latency percentiles from the span probes
     (offer, vIRQ, upcall, deschedule, ack, preempt-fire, migrate)."""
     cfg = _settings(quick)
-    # The CLI-installed default (--trace-out) wins so the run is also
-    # exported; otherwise spans only, no timeline sampling needed.
-    observe = default_observability() or ObservabilityConfig(timeline=False)
-    result = run_parallel('streamcluster', strategy,
-                          InterferenceSpec('hogs', 2),
-                          seed=cfg['seeds'][0], scale=cfg['scale'],
-                          observe=observe)
-    headers, rows, notes = sa_latency_rows(result.metrics.registry)
+    # spans=True arms the SA-protocol probes; a CLI-installed
+    # --trace-out default supersedes it in the executor so the run is
+    # also exported.
+    spec = parallel_spec('streamcluster', strategy,
+                         InterferenceSpec('hogs', 2),
+                         seed=cfg['seeds'][0], scale=cfg['scale'],
+                         spans=True)
+    outcome = _outcomes([spec])[spec]
+    headers, rows, notes = sa_latency_rows(outcome.metrics.registry)
     title = ('Section 3.1: SA-protocol phase latency (strategy=%s)'
              % strategy)
     if not rows:
@@ -436,14 +536,20 @@ def fairness_check(quick=True, apps=('streamcluster', 'UA')):
     """Section 5.4: IRS improves the foreground VM's utilization but
     never pushes it past the fair share."""
     cfg = _settings(quick)
+    grid = [(app, strategy) for app in apps
+            for strategy in (VANILLA, IRS)]
+    plan = {cell: parallel_spec(cell[0], cell[1],
+                                InterferenceSpec('hogs', 4),
+                                seed=cfg['seeds'][0], scale=cfg['scale'])
+            for cell in grid}
+    out = _outcomes(list(plan.values()))
+
     rows = []
     notes = {}
-    for app in apps:
-        for strategy in (VANILLA, IRS):
-            result = run_parallel(app, strategy, InterferenceSpec('hogs', 4),
-                                  seed=cfg['seeds'][0], scale=cfg['scale'])
-            rows.append([app, strategy, '%.3f' % result.utilization])
-            notes[(app, strategy)] = result.utilization
+    for app, strategy in grid:
+        utilization = out[plan[(app, strategy)]].utilization
+        rows.append([app, strategy, '%.3f' % utilization])
+        notes[(app, strategy)] = utilization
     return FigureResult(
         'Section 5.4: utilization vs fair share (4 hogs)',
         ['app', 'strategy', 'utilization/fair-share'], rows, notes)

@@ -28,20 +28,31 @@ _RUN_CHUNK_NS = 50 * MS
 # explicitly; set from the CLI's ``--faults`` flag. None = reliable
 # machine, the bit-identical reproduction path.
 _default_fault_plan = None
+_default_fault_text = None
 
 
-def set_default_fault_plan(plan):
+def set_default_fault_plan(plan, text=None):
     """Install ``plan`` (a :class:`repro.faults.FaultPlan` or None) as
-    the campaign for every subsequent run. Returns the previous plan."""
-    global _default_fault_plan
+    the campaign for every subsequent run. ``text`` is the campaign
+    string the plan was parsed from (``--faults`` dialect); the
+    executor folds it into run specs so cached/parallel runs key on it.
+    Returns the previous plan."""
+    global _default_fault_plan, _default_fault_text
     previous = _default_fault_plan
     _default_fault_plan = plan
+    _default_fault_text = text if plan is not None else None
     return previous
 
 
 def default_fault_plan():
     """The currently installed default fault plan (or None)."""
     return _default_fault_plan
+
+
+def default_fault_text():
+    """The campaign string behind the default fault plan, when it was
+    installed with one (or None)."""
+    return _default_fault_text
 
 
 class ObservabilityConfig:

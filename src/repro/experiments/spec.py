@@ -1,8 +1,17 @@
-"""Declarative experiment specs.
+"""Declarative run specs: the frozen description of one simulation.
 
-A spec is a plain dict (JSON-friendly) describing one run — machine
-shape, strategy, interference, workload — so experiments can live in
-config files and be replayed exactly:
+A :class:`RunSpec` captures *everything* that determines a run —
+workload, strategy, interference, seed, machine shape, IRS tunables,
+fault campaign, observability flags — as a frozen, hashable, picklable
+value. Because the simulator is bit-deterministic in its inputs
+(DESIGN.md §5), a RunSpec fully determines its
+:class:`RunOutcome`; that equivalence is what makes parallel execution
+(:class:`~repro.experiments.executor.ParallelRunner`) and result
+caching (:class:`~repro.experiments.cache.ResultCache`) provably
+interchangeable with a serial in-process loop.
+
+The JSON spec-file dialect predates RunSpec and is kept as the
+user-facing surface::
 
     {
       "app": "streamcluster",
@@ -13,13 +22,16 @@ config files and be replayed exactly:
       "workload": {"scale": 0.5, "n_threads": 4}
     }
 
-:func:`run_spec` validates and executes one spec; :func:`run_spec_file`
-reads a JSON file holding a spec or a list of specs.
+:func:`parse_spec` validates a dict of that shape and
+:func:`spec_from_dict` lifts it into a RunSpec. Execution lives in
+:mod:`repro.experiments.executor` (`run_spec` / `run_spec_file` are
+re-exported from there for compatibility).
 """
 
+import dataclasses
 import json
 
-from .harness import run_parallel
+from ..simkernel.units import MS
 from .strategies import ALL_STRATEGIES, EXTENSION_STRATEGIES
 from .topology import NO_INTERFERENCE, InterferenceSpec
 
@@ -30,9 +42,209 @@ _MACHINE_KEYS = {'n_pcpus', 'fg_vcpus', 'pinned'}
 _INTERFERENCE_KEYS = {'kind', 'width', 'n_vms'}
 _WORKLOAD_KEYS = {'scale', 'n_threads', 'timeout_s'}
 
+#: The run kinds the executor knows how to map to harness entry points.
+PARALLEL, SERVER, PROBE = 'parallel', 'server', 'probe'
+RUN_KINDS = (PARALLEL, SERVER, PROBE)
+
+SERVER_KINDS = ('specjbb', 'ab')
+
 
 class SpecError(ValueError):
     """A malformed experiment spec."""
+
+
+def _interference_tuple(interference):
+    """Normalize an :class:`InterferenceSpec` (or a raw 3-tuple) to the
+    hashable ``(kind, width, n_vms)`` form RunSpec stores."""
+    if isinstance(interference, InterferenceSpec):
+        return (interference.kind, interference.width, interference.n_vms)
+    kind, width, n_vms = interference
+    return (str(kind), int(width), int(n_vms))
+
+
+def _irs_tuple(irs):
+    """Normalize IRSConfig keyword overrides (dict or pair-tuple) to a
+    sorted, hashable ``((key, value), ...)`` tuple."""
+    if irs is None:
+        return None
+    pairs = irs.items() if isinstance(irs, dict) else irs
+    return tuple(sorted((str(k), v) for k, v in pairs))
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """Frozen description of one simulation run.
+
+    ``interference`` is ``(kind, width, n_vms)``; ``irs`` is a sorted
+    tuple of ``(field, value)`` IRSConfig overrides; ``faults`` names a
+    fault campaign in the :data:`repro.faults.CAMPAIGNS` dialect (the
+    ``--faults`` string). ``None`` fields mean "the harness default".
+
+    Server runs (``kind='server'``) reuse ``app`` for the server kind
+    (``'specjbb'``/``'ab'``) and ``interference`` width for the hog
+    count; migration probes (``kind='probe'``) use ``interference``
+    n_vms for the interfering-VM count and ``trigger`` for the probe
+    phase.
+    """
+
+    app: str
+    strategy: str = 'vanilla'
+    kind: str = PARALLEL
+    interference: tuple = ('hogs', 0, 1)
+    seed: int = 0
+    scale: float = 1.0
+    n_pcpus: int = 4
+    fg_vcpus: int = 4
+    pinned: bool = True
+    n_threads: int = None
+    timeout_ns: int = None
+    profile_mode: str = None
+    irs: tuple = None
+    faults: str = None
+    spans: bool = False
+    timeline: bool = False
+    # Server-only knobs (None = run_server defaults).
+    warmup_ns: int = None
+    measure_ns: int = None
+    # Probe-only knob.
+    trigger: str = 'preemption'
+
+    def __post_init__(self):
+        if self.kind not in RUN_KINDS:
+            raise SpecError('unknown run kind %r (want one of %s)'
+                            % (self.kind, ', '.join(RUN_KINDS)))
+        if self.strategy not in _KNOWN_STRATEGIES:
+            raise SpecError('unknown strategy %r (known: %s)'
+                            % (self.strategy, ', '.join(_KNOWN_STRATEGIES)))
+        if self.kind == SERVER and self.app not in SERVER_KINDS:
+            raise SpecError("server spec app must be one of %s, got %r"
+                            % (', '.join(SERVER_KINDS), self.app))
+        inter = self.interference
+        if (not isinstance(inter, tuple) or len(inter) != 3):
+            raise SpecError('interference must be (kind, width, n_vms), '
+                            'got %r' % (inter,))
+        if inter[1] < 0 or (inter[2] < 1 and inter[1] > 0):
+            raise SpecError('bad interference shape %r' % (inter,))
+
+    @property
+    def interference_spec(self):
+        """The :class:`InterferenceSpec` this run installs."""
+        kind, width, n_vms = self.interference
+        if width == 0:
+            return NO_INTERFERENCE
+        return InterferenceSpec(kind, width, n_vms=max(1, n_vms))
+
+    def replace(self, **changes):
+        """A copy with ``changes`` applied (fields are frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    def canonical(self):
+        """JSON-friendly dict of every field, suitable for hashing and
+        for humans reading cache entries."""
+        return dataclasses.asdict(self)
+
+    def cache_token(self):
+        """Stable canonical string: equal specs produce equal tokens,
+        and any field change produces a different one."""
+        return json.dumps(self.canonical(), sort_keys=True,
+                          separators=(',', ':'), default=repr)
+
+    def describe(self):
+        """Short human label for error messages and logs."""
+        kind, width, n_vms = self.interference
+        inter = ('none' if width == 0 else
+                 '%s x%d%s' % (kind, width,
+                               ('(%dvm)' % n_vms) if n_vms > 1 else ''))
+        return '%s %s/%s inter=%s seed=%d' % (
+            self.kind, self.app, self.strategy, inter, self.seed)
+
+
+def parallel_spec(app, strategy='vanilla', interference=NO_INTERFERENCE,
+                  seed=0, scale=1.0, n_pcpus=4, fg_vcpus=4, pinned=True,
+                  n_threads=None, timeout_ns=None, profile_mode=None,
+                  irs=None, faults=None, spans=False, timeline=False):
+    """Spec for one :func:`~repro.experiments.harness.run_parallel`
+    run. Mirrors its signature, but declaratively: ``profile_mode``
+    replaces ad-hoc ``profile=`` objects (it is applied through
+    :func:`repro.workloads.profile_variant`), ``irs`` is a dict of
+    IRSConfig overrides, ``faults`` a campaign string."""
+    return RunSpec(app=app, strategy=strategy, kind=PARALLEL,
+                   interference=_interference_tuple(interference),
+                   seed=seed, scale=scale, n_pcpus=n_pcpus,
+                   fg_vcpus=fg_vcpus, pinned=pinned, n_threads=n_threads,
+                   timeout_ns=timeout_ns, profile_mode=profile_mode,
+                   irs=_irs_tuple(irs), faults=faults, spans=spans,
+                   timeline=timeline)
+
+
+def server_spec(kind, strategy='vanilla', n_hogs=1, seed=0, n_pcpus=4,
+                fg_vcpus=4, warmup_ns=None, measure_ns=None, irs=None,
+                faults=None, spans=False, timeline=False):
+    """Spec for one :func:`~repro.experiments.harness.run_server` run
+    (``kind`` is ``'specjbb'`` or ``'ab'``)."""
+    interference = ('hogs', n_hogs, 1) if n_hogs > 0 else ('hogs', 0, 1)
+    return RunSpec(app=kind, strategy=strategy, kind=SERVER,
+                   interference=interference, seed=seed, n_pcpus=n_pcpus,
+                   fg_vcpus=fg_vcpus, warmup_ns=warmup_ns,
+                   measure_ns=measure_ns, irs=_irs_tuple(irs),
+                   faults=faults, spans=spans, timeline=timeline)
+
+
+def probe_spec(n_inter_vms, seed=0, trigger='preemption'):
+    """Spec for one Figure 1(b) migration-latency probe."""
+    interference = (('hogs', 1, n_inter_vms) if n_inter_vms > 0
+                    else ('hogs', 0, 1))
+    return RunSpec(app='migration-probe', strategy='vanilla', kind=PROBE,
+                   interference=interference, seed=seed, trigger=trigger)
+
+
+class RunOutcome:
+    """Serializable result of executing one :class:`RunSpec`.
+
+    Unlike the harness's live result objects, an outcome carries no
+    simulator, machine, or workload references — only derived values —
+    so it survives a trip through a worker process or the on-disk
+    cache. ``metrics`` is the picklable
+    :class:`~repro.metrics.collector.RunMetrics` snapshot (None for
+    probes); ``sa_delay_ns`` are the SA sender's processing-delay
+    samples (empty when the strategy never attached a sender).
+    """
+
+    def __init__(self, spec, makespan_ns=None, utilization=None,
+                 bg_rates=(), throughput=None, latency_summary=None,
+                 probe_latency_ns=None, sa_delay_ns=(), metrics=None):
+        self.spec = spec
+        self.makespan_ns = makespan_ns
+        self.utilization = utilization
+        self.bg_rates = tuple(bg_rates)
+        self.throughput = throughput
+        self.latency_summary = latency_summary
+        self.probe_latency_ns = probe_latency_ns
+        self.sa_delay_ns = tuple(sa_delay_ns)
+        self.metrics = metrics
+
+    @property
+    def app(self):
+        return self.spec.app
+
+    @property
+    def strategy(self):
+        return self.spec.strategy
+
+    @property
+    def completed(self):
+        return self.makespan_ns is not None
+
+    def __repr__(self):
+        if self.spec.kind == SERVER:
+            detail = '%.0f req/s' % (self.throughput or 0.0)
+        elif self.spec.kind == PROBE:
+            detail = ('%.1fms' % (self.probe_latency_ns / MS)
+                      if self.probe_latency_ns is not None else 'no-fire')
+        else:
+            detail = ('%.1fms' % (self.makespan_ns / MS)
+                      if self.completed else 'TIMEOUT')
+        return '<Outcome %s/%s %s>' % (self.app, self.strategy, detail)
 
 
 def _check_keys(section, mapping, allowed):
@@ -44,8 +256,9 @@ def _check_keys(section, mapping, allowed):
 
 
 def parse_spec(spec):
-    """Validate a spec dict and normalize it to run_parallel kwargs.
-    Returns ``(app, kwargs)``."""
+    """Validate a JSON-dialect spec dict and normalize it to
+    :func:`~repro.experiments.harness.run_parallel` kwargs. Returns
+    ``(app, kwargs)``."""
     if not isinstance(spec, dict):
         raise SpecError('spec must be a dict, got %r' % type(spec).__name__)
     _check_keys('top-level', spec, _TOP_LEVEL_KEYS)
@@ -86,20 +299,7 @@ def parse_spec(spec):
     return app, kwargs
 
 
-def run_spec(spec):
-    """Execute one spec; returns the
-    :class:`~repro.experiments.harness.ParallelRunResult`."""
+def spec_from_dict(spec):
+    """Lift a JSON-dialect spec dict into a :class:`RunSpec`."""
     app, kwargs = parse_spec(spec)
-    return run_parallel(app, **kwargs)
-
-
-def run_spec_file(path):
-    """Run the spec (or list of specs) in a JSON file. Returns a list
-    of ``(spec, result)`` pairs."""
-    with open(path) as handle:
-        loaded = json.load(handle)
-    specs = loaded if isinstance(loaded, list) else [loaded]
-    results = []
-    for spec in specs:
-        results.append((spec, run_spec(spec)))
-    return results
+    return parallel_spec(app, **kwargs)

@@ -6,6 +6,15 @@ vCPU count, IRS config — and collects makespan/utilization series with
 optional vanilla-relative improvements. The per-figure drivers cover
 the paper's grids; sweeps are for exploring beyond them.
 
+Sweeps ride the same declarative pipeline as the figures: every point
+whose configuration is expressible as a
+:class:`~repro.experiments.spec.RunSpec` is executed through
+:func:`~repro.experiments.executor.run_specs` (one batch per sweep, so
+``--jobs`` parallelism and the result cache apply). Configurations
+carrying live objects the spec dialect cannot name — a ``profile=``
+instance, an ``irs_config=`` object — fall back to direct in-process
+:func:`run_parallel` calls.
+
 Example::
 
     sweep = Sweep('streamcluster', base=dict(scale=0.5))
@@ -18,10 +27,18 @@ Example::
 import statistics
 
 from ..simkernel.units import MS
+from .executor import run_specs
 from .harness import run_parallel
 from .reporting import FigureResult
+from .spec import parallel_spec
 from .strategies import VANILLA
 from .topology import NO_INTERFERENCE
+
+#: run_parallel kwargs the declarative RunSpec dialect can express.
+_SPEC_KWARGS = frozenset((
+    'strategy', 'interference', 'scale', 'n_pcpus', 'fg_vcpus', 'pinned',
+    'n_threads', 'timeout_ns', 'profile_mode', 'irs', 'faults', 'spans',
+    'timeline'))
 
 
 class SweepPoint:
@@ -39,7 +56,8 @@ class SweepPoint:
 
     @property
     def utilization(self):
-        return statistics.fmean(self.utilizations)
+        done = [u for u in self.utilizations if u is not None]
+        return statistics.fmean(done) if done else None
 
     def improvement_over(self, other):
         if self.makespan_ns is None or other.makespan_ns is None:
@@ -56,13 +74,29 @@ class Sweep:
         self.base.setdefault('interference', NO_INTERFERENCE)
         self.seeds = tuple(seeds)
 
-    def _run_point(self, kwargs):
-        spans, utils = [], []
-        for seed in self.seeds:
-            result = run_parallel(self.app, seed=seed, **kwargs)
-            spans.append(result.makespan_ns)
-            utils.append(result.utilization)
-        return spans, utils
+    def _point_specs(self, kwargs):
+        """RunSpecs for one point, or None when ``kwargs`` carries
+        something the spec dialect cannot express."""
+        if set(kwargs) - _SPEC_KWARGS:
+            return None
+        return [parallel_spec(self.app, seed=seed, **kwargs)
+                for seed in self.seeds]
+
+    def _run_points(self, kwargs_list):
+        """Results per point, batching every spec-able point through
+        one :func:`run_specs` call."""
+        per_point = [self._point_specs(kwargs) for kwargs in kwargs_list]
+        batch = [spec for specs in per_point if specs is not None
+                 for spec in specs]
+        batched = iter(run_specs(batch)) if batch else iter(())
+        results = []
+        for kwargs, specs in zip(kwargs_list, per_point):
+            if specs is not None:
+                results.append([next(batched) for __ in specs])
+            else:
+                results.append([run_parallel(self.app, seed=seed, **kwargs)
+                                for seed in self.seeds])
+        return results
 
     def over(self, dimension, values, apply=None, baseline=None,
              title=None):
@@ -74,15 +108,19 @@ class Sweep:
         against (improvement column); defaults to the first value.
         Returns a :class:`FigureResult`.
         """
-        points = {}
+        kwargs_list = []
         for value in values:
             kwargs = dict(self.base)
             if apply is not None:
                 apply(kwargs, value)
             else:
                 kwargs[dimension] = value
-            spans, utils = self._run_point(kwargs)
-            points[value] = SweepPoint(str(value), spans, utils)
+            kwargs_list.append(kwargs)
+        points = {}
+        for value, results in zip(values, self._run_points(kwargs_list)):
+            points[value] = SweepPoint(str(value),
+                                       [r.makespan_ns for r in results],
+                                       [r.utilization for r in results])
 
         baseline_value = values[0] if baseline is None else baseline
         base_point = points[baseline_value]
@@ -95,7 +133,8 @@ class Sweep:
                 str(value),
                 ('%.1f' % (point.makespan_ns / MS)
                  if point.makespan_ns is not None else 'TIMEOUT'),
-                '%.3f' % point.utilization,
+                ('%.3f' % point.utilization
+                 if point.utilization is not None else '--'),
                 ('%+.1f%%' % improvement
                  if improvement is not None and value != baseline_value
                  else '--'),

@@ -121,6 +121,68 @@ class TestFigureDrivers:
         assert table.count('\n') >= len(result.rows) + 2
 
 
+class TestCliJobsAndCache:
+    def test_jobs_matches_serial_output(self, tmp_path, capsys):
+        assert main(['fig1a', '--no-cache']) == 0
+        serial = capsys.readouterr().out
+        assert main(['fig1a', '--no-cache', '--jobs', '2']) == 0
+        parallel = capsys.readouterr().out
+        # Strip the wall-clock line; tables must be byte-identical.
+        strip = (lambda text: '\n'.join(
+            l for l in text.splitlines() if not l.startswith('(fig1a:')))
+        assert strip(parallel) == strip(serial)
+
+    def test_jobs_with_trace_out_is_clean_error(self, tmp_path, capsys):
+        target = tmp_path / 'trace.json'
+        with pytest.raises(SystemExit) as excinfo:
+            main(['sa-latency', '--jobs', '2', '--trace-out', str(target)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert 'cannot be combined with --trace-out' in err
+        assert 'worker process' in err
+
+    def test_jobs_env_default(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv('REPRO_JOBS', '2')
+        assert main(['fig1a', '--no-cache']) == 0
+        assert 'Figure 1(a)' in capsys.readouterr().out
+
+    def test_jobs_env_conflicts_with_trace_out(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.setenv('REPRO_JOBS', '2')
+        target = tmp_path / 'trace.json'
+        with pytest.raises(SystemExit):
+            main(['sa-latency', '--trace-out', str(target)])
+        err = capsys.readouterr().err
+        assert 'REPRO_JOBS=2' in err
+
+    def test_jobs_env_invalid(self, capsys, monkeypatch):
+        monkeypatch.setenv('REPRO_JOBS', 'many')
+        with pytest.raises(SystemExit):
+            main(['fig1a'])
+        assert 'REPRO_JOBS must be an integer' in capsys.readouterr().err
+
+    def test_jobs_zero_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(['fig1a', '--jobs', '0'])
+        assert '--jobs must be >= 1' in capsys.readouterr().err
+
+    def test_cache_populates_and_reports(self, tmp_path, capsys,
+                                         monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(['sa_overhead']) == 0
+        out = capsys.readouterr().out
+        assert 'runcache:' in out
+        assert (tmp_path / '.benchmarks' / 'runcache').is_dir()
+        assert main(['sa_overhead']) == 0
+        assert 'SA processing delay' in capsys.readouterr().out
+
+    def test_no_cache_skips_cache_dir(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(['sa_overhead', '--no-cache']) == 0
+        assert 'runcache:' not in capsys.readouterr().out
+        assert not (tmp_path / '.benchmarks').exists()
+
+
 class TestCliSpecs:
     def test_cli_runs_spec_file(self, tmp_path, capsys):
         import json

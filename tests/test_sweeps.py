@@ -19,6 +19,20 @@ class TestSweepPoint:
         assert point.makespan_ns is None
         assert point.improvement_over(SweepPoint('y', [100], [0.1])) is None
 
+    def test_empty_point_does_not_raise(self):
+        # statistics.fmean raises on empty input; an empty point must
+        # degrade to None the way makespan_ns does.
+        point = SweepPoint('x', [], [])
+        assert point.makespan_ns is None
+        assert point.utilization is None
+        other = SweepPoint('y', [100], [0.5])
+        assert point.improvement_over(other) is None
+        assert other.improvement_over(point) is None
+
+    def test_none_utilizations_filtered(self):
+        point = SweepPoint('x', [100, 200], [None, 0.5])
+        assert point.utilization == 0.5
+
     def test_improvement_sign(self):
         fast = SweepPoint('fast', [100], [1.0])
         slow = SweepPoint('slow', [200], [1.0])
