@@ -28,12 +28,18 @@ from repro.experiments import (            # noqa: E402
     set_default_cache,
     set_default_executor,
 )
-from repro.experiments.figures import fig1a, fig10, sa_overhead  # noqa: E402
+from repro.experiments.figures import (    # noqa: E402
+    cluster_consolidation,
+    fig1a,
+    fig10,
+    sa_overhead,
+)
 
 FIGURES = {
     'fig1a': lambda: fig1a(quick=True),
     'fig10-quick': lambda: fig10(quick=True),
     'sa_overhead': lambda: sa_overhead(quick=True),
+    'cluster-consolidation': lambda: cluster_consolidation(quick=True),
 }
 
 

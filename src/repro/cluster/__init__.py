@@ -1,0 +1,50 @@
+"""Cluster layer: multi-host simulation on one clock.
+
+Hosts wrap :class:`~repro.hypervisor.machine.Machine` with capacity and
+strategy descriptors; the :class:`Cluster` coordinator routes VM
+requests through admission control and a pluggable placement policy
+(first-fit, least-loaded, or interference-aware scoring over per-VM
+interference profiles); a :class:`LiveMigrationEngine` moves VMs
+between hosts with a deterministic dirty-state cost model; and the
+:class:`RebalanceDaemon` evicts VMs from hot-spot hosts with
+hysteresis. The entire layer rides the one simulator event queue, so
+cluster runs are exactly as reproducible as single-machine runs.
+"""
+
+from .admission import AdmissionController
+from .cluster import Cluster, RebalanceDaemon, VmRequest
+from .host import HOST_STRATEGIES, Host, HostSpec
+from .migration import LiveMigrationEngine, MigrationCostModel, MigrationRecord
+from .placement import (
+    PLACEMENT_POLICIES,
+    FirstFitPolicy,
+    InterferenceAwarePolicy,
+    LeastLoadedPolicy,
+    PlacementPolicy,
+    make_policy,
+)
+from .profiles import HostInterferenceMonitor, VmInterferenceProfile
+from .scenario import ClusterRunResult, run_consolidation
+
+__all__ = [
+    'AdmissionController',
+    'Cluster',
+    'ClusterRunResult',
+    'FirstFitPolicy',
+    'Host',
+    'HostInterferenceMonitor',
+    'HostSpec',
+    'HOST_STRATEGIES',
+    'InterferenceAwarePolicy',
+    'LeastLoadedPolicy',
+    'LiveMigrationEngine',
+    'MigrationCostModel',
+    'MigrationRecord',
+    'make_policy',
+    'PLACEMENT_POLICIES',
+    'PlacementPolicy',
+    'RebalanceDaemon',
+    'run_consolidation',
+    'VmInterferenceProfile',
+    'VmRequest',
+]

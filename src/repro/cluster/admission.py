@@ -1,0 +1,33 @@
+"""Admission control: capacity gating in front of placement.
+
+A request is admissible on a host when the host's committed vCPUs
+(resident plus reserved for in-flight migrations) leave room for the
+request under the host's ``capacity_vcpus`` ceiling. A request no host
+can take is rejected outright — the cluster never overcommits past the
+declared ratio, and never queues (arrival processes in the evaluation
+are open-loop; a queued VM would just shift the rejection later).
+"""
+
+
+class AdmissionController:
+    """Capacity gate; also the rejection ledger."""
+
+    def __init__(self):
+        self.admitted = 0
+        self.rejected = 0
+        self.rejections = []         # request names, in arrival order
+
+    def admissible_hosts(self, hosts, request):
+        """The subset of ``hosts`` (order preserved) with room for
+        ``request``."""
+        return [host for host in hosts
+                if host.has_capacity(request.n_vcpus)]
+
+    def admit(self, request, host):
+        self.admitted += 1
+        host.sim.trace.count('cluster.admitted')
+
+    def reject(self, request, sim):
+        self.rejected += 1
+        self.rejections.append(request.name)
+        sim.trace.count('cluster.rejected')

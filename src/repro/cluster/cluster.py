@@ -1,0 +1,248 @@
+"""The cluster coordinator: N hosts under one simulated clock.
+
+``Cluster`` glues the layer together: it builds the hosts from their
+specs, runs one shared monitor timer that samples every host's
+interference profiles, routes VM requests through admission and the
+placement policy, and (optionally) runs the :class:`RebalanceDaemon`
+that live-migrates VMs off hot-spot hosts.
+
+Everything is driven by the one underlying :class:`Simulator`, so a
+four-host cluster is exactly as deterministic as a single machine: the
+monitor tick, the daemon tick, and every migration completion are
+ordinary events on the one queue.
+"""
+
+from ..guestos import GuestKernel
+from ..hypervisor import VM
+from ..simkernel.units import MS
+from ..workloads import HogWorkload, OpenLoopServerWorkload
+from .admission import AdmissionController
+from .host import Host
+from .migration import LiveMigrationEngine
+from .placement import make_policy
+from .profiles import HostInterferenceMonitor
+
+WORKLOAD_SERVER = 'server'
+WORKLOAD_HOGS = 'hogs'
+
+
+class VmRequest:
+    """One VM the cluster is asked to run.
+
+    ``workload`` selects the guest's task mix (``'server'`` installs an
+    open-loop request server, ``'hogs'`` one CPU hog per vCPU);
+    ``irs`` opts the guest into scheduler activations (effective only
+    on an IRS host); ``working_set_mb`` feeds the migration cost model.
+    """
+
+    def __init__(self, name, n_vcpus=2, workload=WORKLOAD_SERVER,
+                 irs=False, weight=256, working_set_mb=128,
+                 workload_kwargs=None):
+        if workload not in (WORKLOAD_SERVER, WORKLOAD_HOGS):
+            raise ValueError('unknown workload %r' % workload)
+        self.name = name
+        self.n_vcpus = n_vcpus
+        self.workload = workload
+        self.irs = irs
+        self.weight = weight
+        self.working_set_mb = working_set_mb
+        self.workload_kwargs = dict(workload_kwargs or {})
+
+    def __repr__(self):
+        return '<VmRequest %s %dvcpu %s%s>' % (
+            self.name, self.n_vcpus, self.workload,
+            ' irs' if self.irs else '')
+
+
+class Cluster:
+    """N hosts, one clock, one placement policy."""
+
+    def __init__(self, sim, host_specs, policy='first_fit', irs_config=None,
+                 cost_model=None, monitor_window_ns=50 * MS, rebalance=None):
+        if not host_specs:
+            raise ValueError('a cluster needs at least one host')
+        self.sim = sim
+        self.hosts = []
+        for index, spec in enumerate(host_specs):
+            host = Host(sim, spec, index, irs_config=irs_config)
+            host.monitor = HostInterferenceMonitor(host)
+            self.hosts.append(host)
+        self.policy = make_policy(policy)
+        self.admission = AdmissionController()
+        self.migration = LiveMigrationEngine(sim, cost_model=cost_model)
+        self.monitor_window_ns = monitor_window_ns
+        self.daemon = rebalance
+        if self.daemon is not None:
+            self.daemon.bind(self)
+        self.kernels = {}            # vm -> GuestKernel
+        self.servers = []            # OpenLoopServerWorkload instances
+        self.placements = []         # (vm_name, host_name) decisions
+
+    def start(self):
+        """Boot every host and arm the periodic timers."""
+        for host in self.hosts:
+            host.start()
+        self.sim.after(self.monitor_window_ns, self._sample_monitors)
+        if self.daemon is not None:
+            self.daemon.start()
+
+    def _sample_monitors(self):
+        now = self.sim.now
+        for host in self.hosts:
+            host.monitor.sample(now)
+        self.sim.after(self.monitor_window_ns, self._sample_monitors)
+
+    # ------------------------------------------------------------------
+    # VM intake
+    # ------------------------------------------------------------------
+
+    def submit(self, request):
+        """Admit, place, and boot one VM. Returns the chosen
+        :class:`Host`, or ``None`` on rejection."""
+        candidates = self.admission.admissible_hosts(self.hosts, request)
+        if not candidates:
+            self.admission.reject(request, self.sim)
+            return None
+        host = self.policy.choose(candidates, request)
+        self.admission.admit(request, host)
+        self.placements.append((request.name, host.name))
+
+        vm = VM(request.name, n_vcpus=request.n_vcpus, sim=self.sim,
+                weight=request.weight)
+        vm.working_set_mb = request.working_set_mb
+        host.place_vm(vm)
+        kernel = GuestKernel(self.sim, vm, host.machine)
+        if request.irs:
+            host.enable_irs_guest(kernel)
+        self._install_workload(kernel, request)
+        self.migration.note_placed(vm)
+        self.kernels[vm] = kernel
+        return host
+
+    def _install_workload(self, kernel, request):
+        if request.workload == WORKLOAD_HOGS:
+            HogWorkload(self.sim, kernel, count=request.n_vcpus,
+                        name='%s.hog' % request.name,
+                        **request.workload_kwargs).install()
+        else:
+            server = OpenLoopServerWorkload(self.sim, kernel,
+                                            name='%s.srv' % request.name,
+                                            **request.workload_kwargs)
+            server.install()
+            self.servers.append(server)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def host_of(self, vm):
+        """The host a VM currently resides on, or ``None`` while it is
+        in flight."""
+        for host in self.hosts:
+            if vm in host.resident_vms:
+                return host
+        return None
+
+    def __repr__(self):
+        return '<Cluster %d hosts policy=%s>' % (
+            len(self.hosts), self.policy.name)
+
+
+class RebalanceDaemon:
+    """Evict VMs from hot-spot hosts, with hysteresis.
+
+    A host *trips* when its observed steal pressure crosses
+    ``high_threshold``; a tripped host sheds one VM per check period
+    until pressure drops below ``low_threshold``, where it re-arms.
+    The trigger is steal pressure alone — a host whose VMs exactly fill
+    its pCPUs runs at run-pressure 1.0 with zero contention and must
+    not churn. Target choice *does* use the composite score, and a move
+    only happens when it buys at least ``min_gain`` of score — the
+    hysteresis plus the gain bar plus a per-VM cooldown keep the daemon
+    from ping-ponging a VM between two warm hosts.
+    """
+
+    def __init__(self, high_threshold=0.35, low_threshold=0.15,
+                 check_period_ns=100 * MS, vm_cooldown_ns=500 * MS,
+                 min_gain=0.2):
+        if low_threshold > high_threshold:
+            raise ValueError('low_threshold must not exceed high_threshold')
+        self.high_threshold = high_threshold
+        self.low_threshold = low_threshold
+        self.check_period_ns = check_period_ns
+        self.vm_cooldown_ns = vm_cooldown_ns
+        self.min_gain = min_gain
+        self.cluster = None
+        self.tripped = set()         # host indexes over-threshold
+        self._last_moved = {}        # vm -> sim time of last migration
+
+    def bind(self, cluster):
+        self.cluster = cluster
+
+    def start(self):
+        self.cluster.sim.after(self.check_period_ns, self._check)
+
+    def _check(self):
+        sim = self.cluster.sim
+        for host in self.cluster.hosts:
+            pressure = host.steal_pressure()
+            if host.index in self.tripped:
+                if pressure < self.low_threshold:
+                    self.tripped.discard(host.index)
+                    sim.trace.count('cluster.rebalance_rearms')
+                else:
+                    self._evict_one(host)
+            elif pressure > self.high_threshold:
+                self.tripped.add(host.index)
+                sim.trace.count('cluster.rebalance_trips')
+                self._evict_one(host)
+        sim.after(self.check_period_ns, self._check)
+
+    def _evict_one(self, host):
+        victim = self._pick_victim(host)
+        if victim is None:
+            return
+        target = self._pick_target(host, victim)
+        if target is None:
+            return
+        record = self.cluster.migration.migrate(victim, host, target,
+                                                reason='rebalance')
+        if record is not None:
+            self._last_moved[victim] = self.cluster.sim.now
+
+    def _pick_victim(self, host):
+        """The resident VM suffering the most steal (it gains the most
+        from leaving), skipping in-flight and cooling-down VMs."""
+        now = self.cluster.sim.now
+        best = None
+        best_steal = -1.0
+        for vm in host.resident_vms:
+            if vm in self.cluster.migration.in_flight:
+                continue
+            moved = self._last_moved.get(vm)
+            if moved is not None and now - moved < self.vm_cooldown_ns:
+                continue
+            profile = host.monitor.profiles.get(vm)
+            if profile is None:
+                continue
+            if profile.steal_frac > best_steal:
+                best = vm
+                best_steal = profile.steal_frac
+        return best
+
+    def _pick_target(self, source, vm):
+        """The least-interfered host with room, if moving there is a
+        clear win over staying."""
+        source_score = source.interference_score()
+        best = None
+        best_score = None
+        for host in self.cluster.hosts:
+            if host is source or not host.has_capacity(vm.n_vcpus):
+                continue
+            score = host.interference_score()
+            if score > source_score - self.min_gain:
+                continue
+            if best_score is None or score < best_score:
+                best = host
+                best_score = score
+        return best

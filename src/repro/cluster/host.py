@@ -1,0 +1,184 @@
+"""A cluster host: one :class:`~repro.hypervisor.machine.Machine` plus
+the capacity and strategy descriptor the cluster layer schedules
+against.
+
+A :class:`HostSpec` is the declarative half (shape, strategy, capacity)
+and a :class:`Host` the live half: it builds the machine, attaches the
+strategy components through ``Machine.attach_strategies``, and tracks
+VM residency, capacity reservations, and the interference monitor the
+placement policies read.
+"""
+
+from ..core import IRSConfig, SaReceiver
+from ..core.sender import SaSender
+from ..hypervisor import Machine, StrategyDescriptor
+
+VANILLA = 'vanilla'
+PLE = 'ple'
+RELAXED_CO = 'relaxed_co'
+IRS = 'irs'
+
+HOST_STRATEGIES = (VANILLA, PLE, RELAXED_CO, IRS)
+
+
+class HostSpec:
+    """Declarative description of one host.
+
+    ``capacity_vcpus`` is the admission ceiling (default: 2x the pCPU
+    count, a conventional consolidation ratio). ``strategy`` selects
+    the hypervisor-side components; guests opt into IRS per VM at
+    placement time.
+    """
+
+    def __init__(self, name, n_pcpus=4, strategy=VANILLA,
+                 capacity_vcpus=None, ple_window_ns=None,
+                 relaxed_co_skew_ns=None):
+        if n_pcpus < 1:
+            raise ValueError('need at least one pCPU')
+        if strategy not in HOST_STRATEGIES:
+            raise ValueError('unknown host strategy %r (want one of %s)'
+                             % (strategy, ', '.join(HOST_STRATEGIES)))
+        self.name = name
+        self.n_pcpus = n_pcpus
+        self.strategy = strategy
+        self.capacity_vcpus = (capacity_vcpus if capacity_vcpus is not None
+                               else 2 * n_pcpus)
+        self.ple_window_ns = ple_window_ns
+        self.relaxed_co_skew_ns = relaxed_co_skew_ns
+
+    def __repr__(self):
+        return '<HostSpec %s %dpcpu/%dvcpu %s>' % (
+            self.name, self.n_pcpus, self.capacity_vcpus, self.strategy)
+
+
+class Host:
+    """One live host of a :class:`~repro.cluster.cluster.Cluster`."""
+
+    def __init__(self, sim, spec, index, irs_config=None):
+        self.sim = sim
+        self.spec = spec
+        self.index = index
+        self.name = spec.name
+        self.machine = Machine(sim, n_pcpus=spec.n_pcpus)
+        self.irs_config = irs_config or IRSConfig()
+        self.machine.attach_strategies(self._descriptor())
+        self.resident_vms = []
+        # vCPUs held for in-flight migrations targeting this host.
+        self.reserved_vcpus = 0
+        # Round-robin origin for per-VM pinning maps.
+        self._next_pcpu = 0
+        # HostInterferenceMonitor, installed by the cluster.
+        self.monitor = None
+
+    def _descriptor(self):
+        strategy = self.spec.strategy
+        if strategy == PLE:
+            return StrategyDescriptor(ple=True,
+                                      ple_window_ns=self.spec.ple_window_ns)
+        if strategy == RELAXED_CO:
+            return StrategyDescriptor(
+                relaxed_co=True,
+                relaxed_co_skew_ns=self.spec.relaxed_co_skew_ns)
+        if strategy == IRS:
+            sender = SaSender(self.sim, self.machine, self.irs_config)
+            return StrategyDescriptor(sa_sender=sender)
+        return StrategyDescriptor()
+
+    def start(self):
+        self.machine.start()
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+
+    @property
+    def used_vcpus(self):
+        return (sum(vm.n_vcpus for vm in self.resident_vms)
+                + self.reserved_vcpus)
+
+    def has_capacity(self, n_vcpus):
+        return self.used_vcpus + n_vcpus <= self.spec.capacity_vcpus
+
+    # ------------------------------------------------------------------
+    # VM lifecycle
+    # ------------------------------------------------------------------
+
+    def pinning_for(self, n_vcpus):
+        """Deterministic round-robin pinning map: consecutive VMs start
+        on consecutive pCPUs so load spreads inside the host."""
+        start = self._next_pcpu
+        self._next_pcpu = (start + n_vcpus) % self.spec.n_pcpus
+        return [(start + i) % self.spec.n_pcpus for i in range(n_vcpus)]
+
+    def place_vm(self, vm):
+        """Register a freshly created VM on this host's machine."""
+        self.machine.add_vm(vm, pinning=self.pinning_for(vm.n_vcpus))
+        self.resident_vms.append(vm)
+        if self.monitor is not None:
+            self.monitor.track(vm)
+
+    def enable_irs_guest(self, kernel):
+        """Give ``kernel`` the guest half of IRS (receiver + context
+        switcher + migrator), against this host's config. A no-op on a
+        host without a sender: the guest would never see activations."""
+        if self.machine.sa_sender is None:
+            return None
+        receiver = SaReceiver(self.sim, kernel, self.irs_config)
+        kernel.sa_receiver = receiver
+        kernel.vm.irs_capable = True
+        kernel.balancer.irs_wake_rule = self.irs_config.wakeup_preempt_tagged
+        return receiver
+
+    def evict_vm(self, vm):
+        """Live-migration pause: pull ``vm`` off this host. The VM
+        belongs to no host until a target adopts it."""
+        if self.monitor is not None:
+            self.monitor.forget(vm)
+        self.machine.detach_vm(vm)
+        self.resident_vms.remove(vm)
+
+    def adopt_vm(self, vm):
+        """Live-migration resume: accept a detached VM, repoint its
+        guest kernel at this machine, and wake every vCPU with pending
+        guest work."""
+        self.machine.adopt_vm(vm, pinning=self.pinning_for(vm.n_vcpus))
+        self.resident_vms.append(vm)
+        kernel = vm.guest
+        if kernel is not None:
+            # The kernel captured the source machine (and its hypercall
+            # facade) at construction; repoint both, plus the IRS
+            # migrator's facade, or hypercalls would land on the old
+            # host.
+            kernel.machine = self.machine
+            kernel.hypercalls = self.machine.hypercalls
+            if kernel.sa_receiver is not None:
+                kernel.sa_receiver.migrator.hypercalls = \
+                    self.machine.hypercalls
+            for gcpu in kernel.gcpus:
+                if not gcpu.is_guest_idle:
+                    self.machine.wake_vcpu(gcpu.vcpu)
+        if self.monitor is not None:
+            self.monitor.track(vm)
+
+    # ------------------------------------------------------------------
+    # Scores (read by placement policies and the rebalance daemon)
+    # ------------------------------------------------------------------
+
+    def steal_pressure(self):
+        """Observed contention: aggregate steal fraction per pCPU over
+        the last monitor window (0 when no window has elapsed)."""
+        if self.monitor is None:
+            return 0.0
+        return self.monitor.steal_pressure
+
+    def interference_score(self):
+        """Composite placement score; see
+        :meth:`HostInterferenceMonitor.host_score`."""
+        if self.monitor is None:
+            return 0.0
+        return self.monitor.host_score()
+
+    def __repr__(self):
+        return '<Host %s vms=%d used=%d/%d>' % (
+            self.name, len(self.resident_vms), self.used_vcpus,
+            self.spec.capacity_vcpus)

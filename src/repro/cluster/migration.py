@@ -1,0 +1,145 @@
+"""Live inter-host VM migration with a deterministic dirty-state cost
+model.
+
+The model is pre-copy-shaped but collapsed to its deterministic core:
+the transfer pays for the VM's declared working set plus the pages its
+recent CPU activity dirtied, over a fixed-rate migration link, plus a
+constant switch-over downtime. Everything is integer nanosecond
+arithmetic on counters the simulation already keeps — two runs with the
+same history produce byte-identical migration records.
+
+While in flight the VM exists on *no* host: the source evicted it
+(every vCPU OFFLINE, deregistered from the source scheduler) and the
+target only holds a capacity reservation. Guest timers that fire during
+the blackout try to wake OFFLINE vCPUs and no-op; the backlog drains at
+resume, which is exactly the downtime cost the figures measure.
+"""
+
+from ..simkernel.units import MS, SEC
+
+
+class MigrationCostModel:
+    """Deterministic transfer-time model.
+
+    ``transfer = base_downtime + (working_set_mb + dirtied_mb) / link``
+    where ``dirtied_mb`` is proportional to the CPU time the VM burned
+    since it was last (re)placed, capped at one ``dirty_window_ns`` per
+    vCPU — long-running VMs redirty the same pages, they do not dirty
+    unboundedly many.
+    """
+
+    def __init__(self, base_downtime_ns=2 * MS, link_mb_per_s=10_000,
+                 dirty_mb_per_cpu_s=64, dirty_window_ns=1 * SEC):
+        self.base_downtime_ns = base_downtime_ns
+        self.link_mb_per_s = link_mb_per_s
+        self.dirty_mb_per_cpu_s = dirty_mb_per_cpu_s
+        self.dirty_window_ns = dirty_window_ns
+
+    def dirtied_mb(self, dirty_run_ns, n_vcpus):
+        capped = min(dirty_run_ns, n_vcpus * self.dirty_window_ns)
+        return capped * self.dirty_mb_per_cpu_s // SEC
+
+    def transfer_ns(self, working_set_mb, dirty_run_ns, n_vcpus):
+        total_mb = working_set_mb + self.dirtied_mb(dirty_run_ns, n_vcpus)
+        return self.base_downtime_ns + total_mb * SEC // self.link_mb_per_s
+
+
+class MigrationRecord:
+    """The ledger entry for one migration (in-flight until
+    ``completed_ns`` is set)."""
+
+    __slots__ = ('vm_name', 'source', 'target', 'reason', 'started_ns',
+                 'transfer_ns', 'completed_ns')
+
+    def __init__(self, vm_name, source, target, reason, started_ns,
+                 transfer_ns):
+        self.vm_name = vm_name
+        self.source = source
+        self.target = target
+        self.reason = reason
+        self.started_ns = started_ns
+        self.transfer_ns = transfer_ns
+        self.completed_ns = None
+
+    def as_dict(self):
+        return {
+            'vm': self.vm_name,
+            'source': self.source,
+            'target': self.target,
+            'reason': self.reason,
+            'started_ns': self.started_ns,
+            'transfer_ns': self.transfer_ns,
+            'completed_ns': self.completed_ns,
+        }
+
+    def __repr__(self):
+        state = ('done@%d' % self.completed_ns
+                 if self.completed_ns is not None else 'in-flight')
+        return '<Migration %s %s->%s %s %s>' % (
+            self.vm_name, self.source, self.target, self.reason, state)
+
+
+class LiveMigrationEngine:
+    """Pause -> transfer -> resume, one migration per VM at a time.
+
+    The engine owns the only code path that moves a VM between hosts,
+    so the invariant the sanitizer (and the cluster tests) lean on is
+    local: between ``migrate`` and ``_resume`` the VM is resident
+    nowhere and runnable nowhere.
+    """
+
+    def __init__(self, sim, cost_model=None):
+        self.sim = sim
+        self.cost_model = cost_model or MigrationCostModel()
+        self.records = []
+        self.in_flight = {}          # vm -> MigrationRecord
+        # vm -> cumulative run_ns at placement / last resume; the delta
+        # against this is the dirtying run time the cost model charges.
+        self._run_checkpoint = {}
+
+    def note_placed(self, vm):
+        """Checkpoint a VM's run counters at (re)placement so later
+        migrations only pay for CPU burned since."""
+        self._run_checkpoint[vm] = self._run_ns(vm)
+
+    def _run_ns(self, vm):
+        now = self.sim.now
+        return sum(vcpu.snapshot_accounting(now)[0] for vcpu in vm.vcpus)
+
+    def migrate(self, vm, source, target, reason='rebalance'):
+        """Start migrating ``vm`` from ``source`` to ``target``.
+
+        Returns the :class:`MigrationRecord`, or ``None`` when the move
+        is refused (already in flight, degenerate source==target, or
+        the target lacks capacity once its reservations are counted).
+        """
+        if vm in self.in_flight or source is target:
+            return None
+        if not target.has_capacity(vm.n_vcpus):
+            return None
+        dirty_run_ns = self._run_ns(vm) - self._run_checkpoint.get(vm, 0)
+        transfer = self.cost_model.transfer_ns(
+            getattr(vm, 'working_set_mb', 0), dirty_run_ns, vm.n_vcpus)
+        record = MigrationRecord(vm.name, source.name, target.name, reason,
+                                 self.sim.now, transfer)
+        source.evict_vm(vm)
+        target.reserved_vcpus += vm.n_vcpus
+        self.in_flight[vm] = record
+        self.records.append(record)
+        self.sim.trace.count('cluster.migrations')
+        self.sim.after(transfer, self._resume, vm, target)
+        return record
+
+    def _resume(self, vm, target):
+        record = self.in_flight.pop(vm)
+        target.reserved_vcpus -= vm.n_vcpus
+        target.adopt_vm(vm)
+        # Re-checkpoint: the transfer shipped the dirty pages, so the
+        # next migration starts from a clean slate.
+        self._run_checkpoint[vm] = self._run_ns(vm)
+        record.completed_ns = self.sim.now
+        self.sim.trace.count('cluster.migrations_done')
+
+    @property
+    def completed(self):
+        return [r for r in self.records if r.completed_ns is not None]

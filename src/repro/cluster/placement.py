@@ -1,0 +1,89 @@
+"""Pluggable VM placement policies.
+
+Every policy answers one question — *which admissible host should this
+VM land on?* — deterministically: candidates arrive in host-index
+order, scores are pure functions of monitor state, and every
+comparison tie-breaks on the lowest host index. Same cluster state,
+same choice, every run.
+
+* ``first_fit`` — the classic packing baseline: the lowest-indexed
+  host with capacity. Blind to load and interference.
+* ``least_loaded`` — lowest committed-vCPU ratio. Spreads load but
+  cannot tell a host full of CPU hogs from one full of mostly-idle
+  servers.
+* ``interference_aware`` — scores hosts by the composite interference
+  profile (steal pressure, run pressure, preemption and SA rates) the
+  monitor maintains, plus the load the newcomer itself would add. This
+  is the operator-side complement to IRS: the guest tolerates
+  interference, the placer avoids creating it.
+"""
+
+
+class PlacementPolicy:
+    """Base class; subclasses implement :meth:`choose`."""
+
+    name = None
+
+    def choose(self, candidates, request):
+        """Pick one host from ``candidates`` (non-empty, admission
+        filtered, in host-index order) for ``request``."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return '<PlacementPolicy %s>' % self.name
+
+
+class FirstFitPolicy(PlacementPolicy):
+    """The lowest-indexed host with room."""
+
+    name = 'first_fit'
+
+    def choose(self, candidates, request):
+        return candidates[0]
+
+
+class LeastLoadedPolicy(PlacementPolicy):
+    """The host with the lowest committed-vCPU ratio."""
+
+    name = 'least_loaded'
+
+    def choose(self, candidates, request):
+        return min(candidates,
+                   key=lambda h: (h.used_vcpus / h.spec.n_pcpus, h.index))
+
+
+class InterferenceAwarePolicy(PlacementPolicy):
+    """The host where the newcomer would suffer (and cause) the least
+    interference, by composite profile score."""
+
+    name = 'interference_aware'
+
+    #: Weight of the projected load the request itself adds; small, so
+    #: it spreads ties but never outvotes an observed-interference gap.
+    LOAD_WEIGHT = 0.05
+
+    def score(self, host, request):
+        projected = (host.used_vcpus + request.n_vcpus) / host.spec.n_pcpus
+        return host.interference_score() + self.LOAD_WEIGHT * projected
+
+    def choose(self, candidates, request):
+        return min(candidates,
+                   key=lambda h: (self.score(h, request), h.index))
+
+
+PLACEMENT_POLICIES = {
+    policy.name: policy
+    for policy in (FirstFitPolicy, LeastLoadedPolicy,
+                   InterferenceAwarePolicy)
+}
+
+
+def make_policy(policy):
+    """Normalize a policy name or instance to an instance."""
+    if isinstance(policy, PlacementPolicy):
+        return policy
+    try:
+        return PLACEMENT_POLICIES[policy]()
+    except KeyError:
+        raise ValueError('unknown placement policy %r (want one of %s)'
+                         % (policy, ', '.join(sorted(PLACEMENT_POLICIES))))

@@ -122,6 +122,7 @@ class SaSender:
             return False
         vcpu.sa_pending = True
         self.sent += 1
+        vcpu.sa_offers += 1
         self._offer_times[vcpu] = self.sim.now
         self.sim.trace.count('irs.sa_sent')
         spans = self.sim.trace.spans
@@ -158,6 +159,21 @@ class SaSender:
             spans.end_phase(self.sim.now, PHASE_OFFER, vcpu.name,
                             outcome='acked')
         self.health.record_success(vcpu.vm)
+
+    def cancel_offer(self, vcpu):
+        """Withdraw an outstanding offer without recording an outcome
+        (live-migration pause: the vCPU is leaving the host, so the
+        protocol round is void — no delay sample, no health verdict)."""
+        timeout = self._timeouts.pop(vcpu, None)
+        if timeout is not None:
+            timeout.cancel()
+        had_offer = self._offer_times.pop(vcpu, None) is not None
+        self._attempts.pop(vcpu, None)
+        vcpu.sa_pending = False
+        spans = self.sim.trace.spans
+        if had_offer and spans.enabled:
+            spans.end_phase(self.sim.now, PHASE_OFFER, vcpu.name,
+                            outcome='cancelled')
 
     def _hard_limit(self, vcpu):
         """The guest never answered within the grace window: retry the

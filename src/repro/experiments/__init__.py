@@ -33,9 +33,11 @@ from .harness import (
 )
 from .reporting import FigureResult, format_table
 from .spec import (
+    ClusterSpec,
     RunOutcome,
     RunSpec,
     SpecError,
+    cluster_spec,
     parallel_spec,
     parse_spec,
     probe_spec,
@@ -62,6 +64,7 @@ from .topology import (
 __all__ = [
     'ALL_FIGURES',
     'ALL_STRATEGIES', 'apply_strategy', 'build_scenario',
+    'ClusterSpec', 'cluster_spec',
     'code_fingerprint', 'COMPARISON_STRATEGIES', 'execute_spec',
     'FigureResult', 'format_table', 'InterferenceSpec', 'IRS',
     'NO_INTERFERENCE', 'ParallelRunner', 'ParallelRunResult',

@@ -49,30 +49,44 @@ METRICS = MetricsRegistry()
 _fingerprint_memo = {}
 
 
-def code_fingerprint(package_root=None):
-    """Stable hash of every ``.py`` source file under ``package_root``
-    (default: the installed :mod:`repro` package). Computed once per
-    process per root."""
-    if package_root is None:
-        import repro
-        package_root = os.path.dirname(os.path.abspath(repro.__file__))
-    package_root = os.path.abspath(package_root)
-    memo = _fingerprint_memo.get(package_root)
-    if memo is not None:
-        return memo
+def _hash_tree(root):
+    """sha256 over every ``.py`` file under ``root`` (path + content),
+    in a fully deterministic walk order. Hidden and ``__pycache__``
+    directories are pruned — bytecode churn must not invalidate (or,
+    worse, *fail* to invalidate) the cache."""
     digest = hashlib.sha256()
-    for dirpath, dirnames, filenames in sorted(os.walk(package_root)):
-        dirnames.sort()
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames
+                             if d != '__pycache__' and not d.startswith('.'))
         for filename in sorted(filenames):
             if not filename.endswith('.py'):
                 continue
             path = os.path.join(dirpath, filename)
-            digest.update(os.path.relpath(path, package_root).encode())
+            digest.update(os.path.relpath(path, root).encode())
             with open(path, 'rb') as handle:
                 digest.update(hashlib.sha256(handle.read()).digest())
-    fingerprint = digest.hexdigest()
-    _fingerprint_memo[package_root] = fingerprint
-    return fingerprint
+    return digest.hexdigest()
+
+
+def code_fingerprint(package_root=None):
+    """Stable hash of every ``.py`` source file under ``package_root``
+    (default: the installed :mod:`repro` package), subpackages
+    included — ``repro.cluster`` and anything added later is covered by
+    the walk, not by an allowlist.
+
+    Only the *default* root is memoized (the installed package does not
+    change under a running process); an explicit root is re-hashed on
+    every call, so tests and tools pointing at a scratch tree observe
+    their own edits instead of a stale memo.
+    """
+    if package_root is None:
+        import repro
+        root = os.path.abspath(os.path.dirname(repro.__file__))
+        memo = _fingerprint_memo.get(root)
+        if memo is None:
+            memo = _fingerprint_memo[root] = _hash_tree(root)
+        return memo
+    return _hash_tree(os.path.abspath(package_root))
 
 
 class ResultCache:

@@ -90,6 +90,32 @@ def _resolve_jobs(args, parser):
     return jobs
 
 
+def _list_experiments():
+    """The ``list`` subcommand: every runnable figure, plus the axes
+    (strategies, placement policies, fault campaigns) runs vary over."""
+    from ..cluster import PLACEMENT_POLICIES
+
+    def first_doc_line(obj):
+        return (obj.__doc__ or '').strip().splitlines()[0]
+
+    print('figures (python -m repro.experiments <name>):')
+    for name, fn in ALL_FIGURES.items():
+        print('  %-22s %s' % (name, first_doc_line(fn)))
+    print()
+    print('strategies (--strategy):')
+    for name in ALL_STRATEGIES + EXTENSION_STRATEGIES:
+        print('  %s' % name)
+    print()
+    print('cluster placement policies (cluster-consolidation):')
+    for name, policy in sorted(PLACEMENT_POLICIES.items()):
+        print('  %-22s %s' % (name, first_doc_line(policy)))
+    print()
+    print('fault campaigns (--faults):')
+    for name, factory in sorted(CAMPAIGNS.items()):
+        print('  %-22s %s' % (name, factory().description))
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog='python -m repro.experiments',
@@ -102,6 +128,9 @@ def main(argv=None):
     parser.add_argument('--full', action='store_true',
                         help='3 seeds at full workload scale (slow); '
                              'default is 1 seed at reduced scale')
+    parser.add_argument('--quick', action='store_true',
+                        help='1 seed at reduced scale (the default, '
+                             'spelled out for scripts and CI steps)')
     parser.add_argument('--out', metavar='FILE',
                         help='append tables to FILE instead of stdout')
     parser.add_argument('--jobs', type=int, metavar='N',
@@ -134,6 +163,8 @@ def main(argv=None):
                              "); 'list' prints the registry")
     args = parser.parse_args(argv)
 
+    if args.quick and args.full:
+        parser.error('--quick and --full are mutually exclusive')
     if args.faults == 'list':
         for name, factory in sorted(CAMPAIGNS.items()):
             print('%-18s %s' % (name, factory().description))
@@ -164,10 +195,7 @@ def main(argv=None):
         parser.error('the following arguments are required: figure')
 
     if args.figure == 'list':
-        for name, fn in ALL_FIGURES.items():
-            doc = (fn.__doc__ or '').strip().splitlines()[0]
-            print('%-15s %s' % (name, doc))
-        return 0
+        return _list_experiments()
 
     previous_executor = set_default_executor(
         ParallelRunner(jobs=jobs) if jobs > 1 else None)

@@ -39,7 +39,7 @@ from .harness import (
     set_default_fault_plan,
     set_default_observability,
 )
-from .spec import PARALLEL, PROBE, SERVER, RunOutcome, spec_from_dict
+from .spec import CLUSTER, PARALLEL, PROBE, SERVER, RunOutcome, spec_from_dict
 
 
 class RunError(RuntimeError):
@@ -76,6 +76,27 @@ def execute_spec(spec):
     observe = _observability_for(spec)
     fault_plan = parse_fault_plan(spec.faults) if spec.faults else None
     irs_config = IRSConfig(**dict(spec.irs)) if spec.irs else None
+
+    if spec.kind == CLUSTER:
+        # Lazy import: the cluster layer is optional for the classic
+        # single-machine pipeline and pulls in the whole guest stack.
+        from ..cluster.scenario import run_consolidation
+        kwargs = {}
+        if spec.warmup_ns is not None:
+            kwargs['warmup_ns'] = spec.warmup_ns
+        if spec.measure_ns is not None:
+            kwargs['measure_ns'] = spec.measure_ns
+        result = run_consolidation(
+            strategy=spec.strategy, placement=spec.placement,
+            seed=spec.seed, n_hosts=spec.n_hosts, host_pcpus=spec.n_pcpus,
+            capacity_vcpus=spec.capacity_vcpus, n_hog_vms=spec.n_hog_vms,
+            hog_vcpus=spec.hog_vcpus, n_server_vms=spec.n_server_vms,
+            server_vcpus=spec.fg_vcpus,
+            arrivals_per_sec=spec.arrivals_per_sec,
+            rebalance=spec.rebalance, **kwargs)
+        return RunOutcome(spec, throughput=result.throughput,
+                          latency_summary=result.latency_summary,
+                          cluster=result.summary())
 
     if spec.kind == PROBE:
         kind, width, n_vms = spec.interference

@@ -27,7 +27,7 @@ from ..simkernel.units import MS, SEC, US
 from ..workloads import NPB, PARSEC, get_profile
 from .executor import run_specs
 from .reporting import FigureResult
-from .spec import parallel_spec, probe_spec, server_spec
+from .spec import cluster_spec, parallel_spec, probe_spec, server_spec
 from .strategies import COMPARISON_STRATEGIES, IRS, PLE, RELAXED_CO, VANILLA
 from .topology import NO_INTERFERENCE, InterferenceSpec
 
@@ -555,6 +555,49 @@ def fairness_check(quick=True, apps=('streamcluster', 'UA')):
         ['app', 'strategy', 'utilization/fair-share'], rows, notes)
 
 
+def cluster_consolidation(quick=True):
+    """Cluster extension: {vanilla, IRS} x {first_fit,
+    interference_aware} placement on a 4-host cluster.
+
+    Hog VMs land first, then latency-sensitive server VMs; the
+    rebalance daemon live-migrates VMs off hot-spot hosts. The grid
+    separates the two defenses: IRS makes guests resilient to the
+    interference they get, interference-aware placement avoids handing
+    it to them in the first place.
+    """
+    cfg = _settings(quick)
+    measure_ns = 1 * SEC if quick else 2 * SEC
+    grid = [(strategy, placement)
+            for strategy in (VANILLA, IRS)
+            for placement in ('first_fit', 'interference_aware')]
+    plan = {cell: [cluster_spec(strategy=cell[0], placement=cell[1],
+                                seed=seed, measure_ns=measure_ns)
+                   for seed in cfg['seeds']]
+            for cell in grid}
+    out = _outcomes([spec for specs in plan.values() for spec in specs])
+
+    rows = []
+    notes = {}
+    for strategy, placement in grid:
+        specs = plan[(strategy, placement)]
+        throughput = _mean([out[s].throughput for s in specs])
+        p99_ms = _mean([out[s].latency_summary['p99'] for s in specs]) / MS
+        migrations = _mean([out[s].cluster['migrations'] for s in specs])
+        rejections = _mean([out[s].cluster['rejections'] for s in specs])
+        rows.append([strategy, placement, '%.0f' % throughput,
+                     '%.2f' % p99_ms, '%.1f' % migrations,
+                     '%.1f' % rejections])
+        notes[(strategy, placement)] = {
+            'throughput': throughput, 'p99_ms': p99_ms,
+            'migrations': migrations, 'rejections': rejections}
+    return FigureResult(
+        'Cluster extension: consolidation under placement policies'
+        ' (4 hosts)',
+        ['strategy', 'placement', 'req/s', 'p99 (ms)', 'migrations',
+         'rejections'],
+        rows, notes)
+
+
 ALL_FIGURES = {
     'fig1a': fig1a,
     'fig1b': fig1b,
@@ -571,4 +614,5 @@ ALL_FIGURES = {
     'sa_overhead': sa_overhead,
     'sa_latency': sa_latency,
     'fairness_check': fairness_check,
+    'cluster_consolidation': cluster_consolidation,
 }

@@ -43,8 +43,8 @@ _INTERFERENCE_KEYS = {'kind', 'width', 'n_vms'}
 _WORKLOAD_KEYS = {'scale', 'n_threads', 'timeout_s'}
 
 #: The run kinds the executor knows how to map to harness entry points.
-PARALLEL, SERVER, PROBE = 'parallel', 'server', 'probe'
-RUN_KINDS = (PARALLEL, SERVER, PROBE)
+PARALLEL, SERVER, PROBE, CLUSTER = 'parallel', 'server', 'probe', 'cluster'
+RUN_KINDS = (PARALLEL, SERVER, PROBE, CLUSTER)
 
 SERVER_KINDS = ('specjbb', 'ab')
 
@@ -119,6 +119,9 @@ class RunSpec:
         if self.kind == SERVER and self.app not in SERVER_KINDS:
             raise SpecError("server spec app must be one of %s, got %r"
                             % (', '.join(SERVER_KINDS), self.app))
+        if self.kind == CLUSTER and not hasattr(self, 'n_hosts'):
+            raise SpecError("kind='cluster' requires a ClusterSpec "
+                            "(use cluster_spec())")
         inter = self.interference
         if (not isinstance(inter, tuple) or len(inter) != 3):
             raise SpecError('interference must be (kind, width, n_vms), '
@@ -190,6 +193,60 @@ def server_spec(kind, strategy='vanilla', n_hogs=1, seed=0, n_pcpus=4,
                    faults=faults, spans=spans, timeline=timeline)
 
 
+@dataclasses.dataclass(frozen=True)
+class ClusterSpec(RunSpec):
+    """Frozen description of one multi-host cluster run.
+
+    Extends :class:`RunSpec` so the executor, cache, and parallel
+    runner handle cluster runs unchanged — the extra fields flow into
+    ``canonical()``/``cache_token()`` through ``dataclasses.asdict``.
+    Field reuse: ``n_pcpus`` is the per-host pCPU count and
+    ``fg_vcpus`` the per-server-VM vCPU count; ``strategy`` is the
+    hypervisor strategy every host runs (guests opt into IRS when it is
+    ``'irs'``).
+    """
+
+    n_hosts: int = 4
+    placement: str = 'first_fit'
+    rebalance: bool = True
+    n_hog_vms: int = 4
+    hog_vcpus: int = 2
+    n_server_vms: int = 4
+    capacity_vcpus: int = None
+    arrivals_per_sec: int = 400
+
+    def __post_init__(self):
+        super().__post_init__()
+        from ..cluster.placement import PLACEMENT_POLICIES
+        if self.placement not in PLACEMENT_POLICIES:
+            raise SpecError('unknown placement %r (want one of %s)'
+                            % (self.placement,
+                               ', '.join(sorted(PLACEMENT_POLICIES))))
+        if self.n_hosts < 1:
+            raise SpecError('a cluster needs at least one host')
+
+    def describe(self):
+        return 'cluster %s/%s %dhosts seed=%d' % (
+            self.placement, self.strategy, self.n_hosts, self.seed)
+
+
+def cluster_spec(strategy='vanilla', placement='first_fit', seed=0,
+                 n_hosts=4, n_pcpus=4, capacity_vcpus=None, n_hog_vms=4,
+                 hog_vcpus=2, n_server_vms=4, server_vcpus=2,
+                 arrivals_per_sec=400, rebalance=True, warmup_ns=None,
+                 measure_ns=None):
+    """Spec for one :func:`repro.cluster.run_consolidation` run."""
+    return ClusterSpec(app='cluster-consolidation', strategy=strategy,
+                       kind=CLUSTER, seed=seed, n_pcpus=n_pcpus,
+                       fg_vcpus=server_vcpus, n_hosts=n_hosts,
+                       placement=placement, rebalance=rebalance,
+                       n_hog_vms=n_hog_vms, hog_vcpus=hog_vcpus,
+                       n_server_vms=n_server_vms,
+                       capacity_vcpus=capacity_vcpus,
+                       arrivals_per_sec=arrivals_per_sec,
+                       warmup_ns=warmup_ns, measure_ns=measure_ns)
+
+
 def probe_spec(n_inter_vms, seed=0, trigger='preemption'):
     """Spec for one Figure 1(b) migration-latency probe."""
     interference = (('hogs', 1, n_inter_vms) if n_inter_vms > 0
@@ -212,7 +269,8 @@ class RunOutcome:
 
     def __init__(self, spec, makespan_ns=None, utilization=None,
                  bg_rates=(), throughput=None, latency_summary=None,
-                 probe_latency_ns=None, sa_delay_ns=(), metrics=None):
+                 probe_latency_ns=None, sa_delay_ns=(), metrics=None,
+                 cluster=None):
         self.spec = spec
         self.makespan_ns = makespan_ns
         self.utilization = utilization
@@ -222,6 +280,9 @@ class RunOutcome:
         self.probe_latency_ns = probe_latency_ns
         self.sa_delay_ns = tuple(sa_delay_ns)
         self.metrics = metrics
+        # Cluster runs: the ClusterRunResult.summary() dict (placements,
+        # migration/rejection counts, merged latency).
+        self.cluster = cluster
 
     @property
     def app(self):
@@ -236,7 +297,7 @@ class RunOutcome:
         return self.makespan_ns is not None
 
     def __repr__(self):
-        if self.spec.kind == SERVER:
+        if self.spec.kind in (SERVER, CLUSTER):
             detail = '%.0f req/s' % (self.throughput or 0.0)
         elif self.spec.kind == PROBE:
             detail = ('%.1fms' % (self.probe_latency_ns / MS)

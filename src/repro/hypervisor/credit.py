@@ -78,6 +78,29 @@ class CreditScheduler:
         vcpu.set_runstate(RUNSTATE_BLOCKED, self.sim.now)
         self.vcpus.append(vcpu)
 
+    def deregister_vcpu(self, vcpu):
+        """Take ``vcpu`` offline and forget it entirely (the live
+        migration pause path). The caller must have resolved any
+        outstanding SA offer first; a running vCPU's pCPU is
+        backfilled so no queued work is stranded."""
+        from .vcpu import RUNSTATE_OFFLINE
+        pcpu = vcpu.pcpu
+        if vcpu.is_running:
+            # Cancel a parked context switch: the vCPU is leaving the
+            # host, so the deferred preemption resolves trivially.
+            pcpu.preempt_deferred = False
+            self._stop_current(pcpu, RUNSTATE_BLOCKED)
+            vcpu.set_runstate(RUNSTATE_OFFLINE, self.sim.now)
+            self._schedule(pcpu)
+        elif vcpu.is_runnable:
+            pcpu.remove_vcpu(vcpu)
+            vcpu.set_runstate(RUNSTATE_OFFLINE, self.sim.now)
+        else:
+            vcpu.set_runstate(RUNSTATE_OFFLINE, self.sim.now)
+        vcpu.pcpu = None
+        vcpu.pinned_pcpu = None
+        self.vcpus.remove(vcpu)
+
     # ------------------------------------------------------------------
     # Wake / block / yield
     # ------------------------------------------------------------------
@@ -275,6 +298,7 @@ class CreditScheduler:
         pcpu.current = None
         if new_state == RUNSTATE_RUNNABLE:
             pcpu.insert_vcpu(vcpu)
+            vcpu.preemptions += 1
             self.sim.trace.count('hv.preemptions')
         self.machine.on_vcpu_descheduled(vcpu, pcpu)
 

@@ -19,6 +19,40 @@ from .ple import PleMonitor
 from .relaxed_co import RelaxedCoScheduler
 
 
+class StrategyDescriptor:
+    """Declarative description of a machine's strategy attachments.
+
+    One value object covers every optional component a host can carry,
+    so cluster hosts (``repro.cluster``) can be configured from a
+    :class:`HostSpec` without per-strategy call sites. ``None`` for a
+    window/threshold means the component's default."""
+
+    def __init__(self, ple=False, ple_window_ns=None,
+                 relaxed_co=False, relaxed_co_skew_ns=None,
+                 unpinned=False, sa_sender=None, fault_injector=None):
+        self.ple = ple
+        self.ple_window_ns = ple_window_ns
+        self.relaxed_co = relaxed_co
+        self.relaxed_co_skew_ns = relaxed_co_skew_ns
+        self.unpinned = unpinned
+        self.sa_sender = sa_sender
+        self.fault_injector = fault_injector
+
+    def __repr__(self):
+        parts = []
+        if self.ple:
+            parts.append('ple')
+        if self.relaxed_co:
+            parts.append('relaxed_co')
+        if self.unpinned:
+            parts.append('unpinned')
+        if self.sa_sender is not None:
+            parts.append('sa_sender')
+        if self.fault_injector is not None:
+            parts.append('faults')
+        return '<StrategyDescriptor %s>' % (' '.join(parts) or 'vanilla')
+
+
 class Machine:
     """A host: pCPUs + credit scheduler + attached VMs + strategies."""
 
@@ -50,35 +84,56 @@ class Machine:
     # Strategy wiring
     # ------------------------------------------------------------------
 
+    def attach_strategies(self, descriptor):
+        """Declarative strategy wiring: attach every component named by
+        a :class:`StrategyDescriptor` in one call. The single entry
+        point cluster hosts configure themselves through; the legacy
+        ``enable_*`` methods below are shims over this."""
+        if descriptor.ple:
+            if descriptor.ple_window_ns is None:
+                self.ple = PleMonitor(self.sim, self)
+            else:
+                self.ple = PleMonitor(self.sim, self,
+                                      window_ns=descriptor.ple_window_ns)
+        if descriptor.relaxed_co:
+            if descriptor.relaxed_co_skew_ns is None:
+                self.relaxed_co = RelaxedCoScheduler(self.sim, self)
+            else:
+                self.relaxed_co = RelaxedCoScheduler(
+                    self.sim, self,
+                    skew_threshold_ns=descriptor.relaxed_co_skew_ns)
+        if descriptor.unpinned:
+            self.hv_balancer = HypervisorBalancer(self)
+        if descriptor.sa_sender is not None:
+            self.sa_sender = descriptor.sa_sender
+        if descriptor.fault_injector is not None:
+            self.fault_injector = descriptor.fault_injector
+        return self
+
     def enable_ple(self, window_ns=None):
         """Attach the PLE spin detector (HVM-style runs)."""
-        if window_ns is None:
-            self.ple = PleMonitor(self.sim, self)
-        else:
-            self.ple = PleMonitor(self.sim, self, window_ns=window_ns)
+        self.attach_strategies(
+            StrategyDescriptor(ple=True, ple_window_ns=window_ns))
         return self.ple
 
     def enable_relaxed_co(self, skew_threshold_ns=None):
         """Attach the relaxed co-scheduling monitor."""
-        if skew_threshold_ns is None:
-            self.relaxed_co = RelaxedCoScheduler(self.sim, self)
-        else:
-            self.relaxed_co = RelaxedCoScheduler(
-                self.sim, self, skew_threshold_ns=skew_threshold_ns)
+        self.attach_strategies(StrategyDescriptor(
+            relaxed_co=True, relaxed_co_skew_ns=skew_threshold_ns))
         return self.relaxed_co
 
     def enable_unpinned_balancing(self):
         """Attach the hypervisor vCPU balancer (vCPUs float freely)."""
-        self.hv_balancer = HypervisorBalancer(self)
+        self.attach_strategies(StrategyDescriptor(unpinned=True))
         return self.hv_balancer
 
     def attach_sa_sender(self, sender):
         """Attach the IRS scheduler-activation sender."""
-        self.sa_sender = sender
+        self.attach_strategies(StrategyDescriptor(sa_sender=sender))
 
     def attach_fault_injector(self, injector):
         """Attach a deterministic fault injector (``repro.faults``)."""
-        self.fault_injector = injector
+        self.attach_strategies(StrategyDescriptor(fault_injector=injector))
 
     # ------------------------------------------------------------------
     # VM lifecycle
@@ -98,6 +153,39 @@ class Machine:
             else:
                 pcpu = self.pcpus[i % len(self.pcpus)]
             self.scheduler.register_vcpu(vcpu, pcpu)
+
+    def detach_vm(self, vm):
+        """Pull ``vm`` off this host (live-migration pause). Every vCPU
+        goes OFFLINE — immune to wakes, invisible to the scheduler — and
+        outstanding SA offers and pended upcalls are torn down with the
+        event channel. The VM belongs to *no* host until adopted."""
+        if vm not in self.vms:
+            raise ValueError('%s is not resident on this machine' % vm.name)
+        for vcpu in vm.vcpus:
+            if self.sa_sender is not None:
+                self.sa_sender.cancel_offer(vcpu)
+            if vcpu.gcpu is not None:
+                vcpu.gcpu.in_sa_handler = False
+            if self.ple is not None:
+                self.ple.on_spin_stop(vcpu)
+            if self.relaxed_co is not None:
+                self.relaxed_co.costopped.pop(vcpu, None)
+            vcpu.costopped = False
+            # Event-channel teardown: pended vIRQs do not survive the
+            # move (the target host has its own channels).
+            vcpu.pending_virqs = []
+            self.scheduler.deregister_vcpu(vcpu)
+        self.vms.remove(vm)
+
+    def adopt_vm(self, vm, pinning=None):
+        """Accept a detached VM (live-migration resume). Same placement
+        contract as :meth:`add_vm`; vCPUs come back blocked and must be
+        woken by the migration engine."""
+        for vcpu in vm.vcpus:
+            if vcpu.pcpu is not None:
+                raise ValueError('%s still registered with a scheduler'
+                                 % vcpu.name)
+        self.add_vm(vm, pinning=pinning)
 
     def start(self):
         """Arm the scheduler's periodic machinery."""

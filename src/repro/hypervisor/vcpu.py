@@ -46,6 +46,10 @@ class VCpu:
         self.run_ns = 0
         self.steal_ns = 0         # time spent runnable
         self.blocked_ns = 0
+        # Involuntary preemptions suffered (descheduled while runnable).
+        # Tracer counters are per-simulation, so multi-host interference
+        # profiling needs the count attributable to this vCPU alone.
+        self.preemptions = 0
 
         # Credit scheduler state.
         self.credits = 0
@@ -55,6 +59,10 @@ class VCpu:
         # Event-channel state.
         self.pending_virqs = []
         self.sa_pending = False
+        # SA offers targeted at this vCPU (per-VM notification rate for
+        # cluster interference profiling; the sender's totals are
+        # host-wide).
+        self.sa_offers = 0
 
         # Relaxed co-scheduling: a co-stopped vCPU is undispatchable.
         self.costopped = False

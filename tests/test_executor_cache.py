@@ -208,6 +208,20 @@ class TestFigureEquivalence:
         assert second == first
         assert _delta(after, mid, 'executor.dispatched') == 0
 
+    def test_cluster_figure_parallel_and_cache(self, tmp_path):
+        from repro.experiments.figures import cluster_consolidation
+        serial = cluster_consolidation(quick=True).table()
+        set_default_executor(ParallelRunner(jobs=2))
+        parallel = cluster_consolidation(quick=True).table()
+        assert parallel == serial
+        set_default_cache(ResultCache(root=str(tmp_path)))
+        first = cluster_consolidation(quick=True).table()
+        mid = _counters()
+        second = cluster_consolidation(quick=True).table()
+        after = _counters()
+        assert second == first == serial
+        assert _delta(after, mid, 'executor.dispatched') == 0
+
 
 class TestResultCache:
     def test_hit_skips_simulation(self, tmp_path):
@@ -263,9 +277,37 @@ class TestResultCache:
         src.mkdir()
         (src / 'a.py').write_text('x = 1\n')
         first = code_fingerprint(str(src))
-        assert code_fingerprint(str(src)) == first     # memoized
+        assert code_fingerprint(str(src)) == first     # stable
         (src / 'a.py').write_text('x = 2\n')
-        # New root object (memo is per-path), so re-hash via a copy.
-        import repro.experiments.cache as cache_mod
-        cache_mod._fingerprint_memo.pop(str(src), None)
+        # Explicit roots are re-hashed every call (no stale memo): the
+        # edit is observed without any cache-poking.
         assert code_fingerprint(str(src)) != first
+
+    def test_fingerprint_covers_new_subpackages(self, tmp_path):
+        # Regression: the fingerprint must cover files added in *new*
+        # nested subpackages (e.g. repro/cluster/), or stale cache hits
+        # would survive cluster-code edits.
+        src = tmp_path / 'pkg'
+        src.mkdir()
+        (src / 'a.py').write_text('x = 1\n')
+        base = code_fingerprint(str(src))
+        sub = src / 'cluster' / 'deep'
+        sub.mkdir(parents=True)
+        (sub / 'placement.py').write_text('y = 1\n')
+        grown = code_fingerprint(str(src))
+        assert grown != base
+        (sub / 'placement.py').write_text('y = 2\n')
+        assert code_fingerprint(str(src)) != grown
+
+    def test_fingerprint_ignores_pycache_and_hidden(self, tmp_path):
+        src = tmp_path / 'pkg'
+        src.mkdir()
+        (src / 'a.py').write_text('x = 1\n')
+        base = code_fingerprint(str(src))
+        cache_dir = src / '__pycache__'
+        cache_dir.mkdir()
+        (cache_dir / 'a.cpython-311.py').write_text('junk\n')
+        hidden = src / '.git'
+        hidden.mkdir()
+        (hidden / 'hook.py').write_text('junk\n')
+        assert code_fingerprint(str(src)) == base

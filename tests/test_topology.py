@@ -1,0 +1,69 @@
+"""Tests for scenario construction: pinning maps, interference shapes,
+and the unpinned (stacking) mode."""
+
+import pytest
+
+from repro.experiments import InterferenceSpec, NO_INTERFERENCE
+from repro.experiments.topology import build_scenario
+
+
+def _pinning(vm):
+    return [vcpu.pinned_pcpu.index if vcpu.pinned_pcpu is not None else None
+            for vcpu in vm.vcpus]
+
+
+class TestForegroundPinning:
+    def test_one_vcpu_per_pcpu(self):
+        scenario = build_scenario(n_pcpus=4, fg_vcpus=4)
+        assert _pinning(scenario.fg_vm) == [0, 1, 2, 3]
+
+    def test_narrow_fg_uses_low_pcpus(self):
+        scenario = build_scenario(n_pcpus=4, fg_vcpus=2)
+        assert _pinning(scenario.fg_vm) == [0, 1]
+
+    def test_unpinned_leaves_no_pins(self):
+        scenario = build_scenario(n_pcpus=4, fg_vcpus=4, pinned=False)
+        assert _pinning(scenario.fg_vm) == [None] * 4
+        assert scenario.machine.hv_balancer is not None
+
+
+class TestInterferencePinning:
+    def test_k_inter_overlaps_low_pcpus(self):
+        # 2-inter: the interfering VM's vCPUs share pCPUs 0..1 with the
+        # foreground's first two vCPUs (the paper's k-inter layout).
+        scenario = build_scenario(
+            n_pcpus=4, fg_vcpus=4,
+            interference=InterferenceSpec('hogs', 2))
+        (bg,) = [k.vm for k in scenario.bg_kernels]
+        assert _pinning(bg) == [0, 1]
+        assert _pinning(scenario.fg_vm)[:2] == [0, 1]
+
+    def test_stacked_vms_share_the_same_pcpus(self):
+        scenario = build_scenario(
+            n_pcpus=4, fg_vcpus=4,
+            interference=InterferenceSpec('hogs', 1, n_vms=3))
+        maps = [_pinning(k.vm) for k in scenario.bg_kernels]
+        assert maps == [[0], [0], [0]]
+
+    def test_no_interference_builds_no_bg(self):
+        scenario = build_scenario(interference=NO_INTERFERENCE)
+        assert scenario.bg_kernels == []
+        assert scenario.bg_workloads == []
+        assert len(scenario.machine.vms) == 1
+
+    def test_hog_workload_width(self):
+        scenario = build_scenario(
+            interference=InterferenceSpec('hogs', 2, n_vms=2))
+        assert [w.count for w in scenario.bg_workloads] == [2, 2]
+        # Installed: each bg VM has its hog tasks spawned already.
+        assert all(len(w.tasks) == 2 for w in scenario.bg_workloads)
+
+
+class TestInterferenceSpecValidation:
+    def test_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            InterferenceSpec('hogs', -1)
+
+    def test_rejects_zero_vms(self):
+        with pytest.raises(ValueError):
+            InterferenceSpec('hogs', 1, n_vms=0)
