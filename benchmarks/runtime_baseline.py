@@ -30,6 +30,7 @@ from repro.experiments import (            # noqa: E402
 )
 from repro.experiments.figures import (    # noqa: E402
     cluster_consolidation,
+    cluster_resilience,
     fig1a,
     fig10,
     sa_overhead,
@@ -40,6 +41,7 @@ FIGURES = {
     'fig10-quick': lambda: fig10(quick=True),
     'sa_overhead': lambda: sa_overhead(quick=True),
     'cluster-consolidation': lambda: cluster_consolidation(quick=True),
+    'cluster-resilience': lambda: cluster_resilience(quick=True),
 }
 
 

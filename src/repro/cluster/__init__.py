@@ -9,11 +9,25 @@ between hosts with a deterministic dirty-state cost model; and the
 :class:`RebalanceDaemon` evicts VMs from hot-spot hosts with
 hysteresis. The entire layer rides the one simulator event queue, so
 cluster runs are exactly as reproducible as single-machine runs.
+
+The fault-tolerance half lives in :mod:`repro.cluster.recovery`: a
+:class:`RecoveryController` re-homes VMs orphaned by host crashes
+(with bounded retries, backoff, and an explicit *parked* state), a
+:class:`HostWatchdog` quarantines degraded hosts, and a
+:class:`ClusterFaultDriver` applies ``host_crash`` / ``host_degrade``
+faults from a deterministic :class:`~repro.faults.FaultPlan`.
 """
 
 from .admission import AdmissionController
 from .cluster import Cluster, RebalanceDaemon, VmRequest
-from .host import HOST_STRATEGIES, Host, HostSpec
+from .host import (
+    HOST_DEGRADED,
+    HOST_FAILED,
+    HOST_STRATEGIES,
+    HOST_UP,
+    Host,
+    HostSpec,
+)
 from .migration import LiveMigrationEngine, MigrationCostModel, MigrationRecord
 from .placement import (
     PLACEMENT_POLICIES,
@@ -24,17 +38,24 @@ from .placement import (
     make_policy,
 )
 from .profiles import HostInterferenceMonitor, VmInterferenceProfile
+from .recovery import ClusterFaultDriver, HostWatchdog, RecoveryController
 from .scenario import ClusterRunResult, run_consolidation
 
 __all__ = [
     'AdmissionController',
     'Cluster',
+    'ClusterFaultDriver',
     'ClusterRunResult',
     'FirstFitPolicy',
     'Host',
     'HostInterferenceMonitor',
     'HostSpec',
+    'HostWatchdog',
+    'HOST_DEGRADED',
+    'HOST_FAILED',
     'HOST_STRATEGIES',
+    'HOST_UP',
+    'RecoveryController',
     'InterferenceAwarePolicy',
     'LeastLoadedPolicy',
     'LiveMigrationEngine',

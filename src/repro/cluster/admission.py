@@ -18,10 +18,10 @@ class AdmissionController:
         self.rejections = []         # request names, in arrival order
 
     def admissible_hosts(self, hosts, request):
-        """The subset of ``hosts`` (order preserved) with room for
-        ``request``."""
+        """The subset of ``hosts`` (order preserved) that are accepting
+        placements (up, not quarantined) with room for ``request``."""
         return [host for host in hosts
-                if host.has_capacity(request.n_vcpus)]
+                if host.accepting and host.has_capacity(request.n_vcpus)]
 
     def admit(self, request, host):
         self.admitted += 1

@@ -12,15 +12,17 @@ monitor tick, the daemon tick, and every migration completion are
 ordinary events on the one queue.
 """
 
+from ..faults import HOST_FAULT_KINDS
 from ..guestos import GuestKernel
 from ..hypervisor import VM
 from ..simkernel.units import MS
 from ..workloads import HogWorkload, OpenLoopServerWorkload
 from .admission import AdmissionController
-from .host import Host
+from .host import HOST_FAILED, Host
 from .migration import LiveMigrationEngine
 from .placement import make_policy
 from .profiles import HostInterferenceMonitor
+from .recovery import ClusterFaultDriver, HostWatchdog, RecoveryController
 
 WORKLOAD_SERVER = 'server'
 WORKLOAD_HOGS = 'hogs'
@@ -58,7 +60,8 @@ class Cluster:
     """N hosts, one clock, one placement policy."""
 
     def __init__(self, sim, host_specs, policy='first_fit', irs_config=None,
-                 cost_model=None, monitor_window_ns=50 * MS, rebalance=None):
+                 cost_model=None, monitor_window_ns=50 * MS, rebalance=None,
+                 fault_plan=None):
         if not host_specs:
             raise ValueError('a cluster needs at least one host')
         self.sim = sim
@@ -69,14 +72,33 @@ class Cluster:
             self.hosts.append(host)
         self.policy = make_policy(policy)
         self.admission = AdmissionController()
-        self.migration = LiveMigrationEngine(sim, cost_model=cost_model)
+        # Fault plane: one injector shared by every host machine (the
+        # vIRQ/runstate/migrator hooks) and by the cluster-level driver
+        # (host faults, migration aborts). None = reliable everything.
+        self.injector = fault_plan.build(sim) if fault_plan else None
+        if self.injector is not None:
+            for host in self.hosts:
+                host.machine.attach_fault_injector(self.injector)
+        self.migration = LiveMigrationEngine(sim, cost_model=cost_model,
+                                             injector=self.injector)
         self.monitor_window_ns = monitor_window_ns
         self.daemon = rebalance
         if self.daemon is not None:
             self.daemon.bind(self)
+        self.recovery = RecoveryController(self)
+        self.migration.on_orphan = self.recovery.recover_vm
+        self.watchdog = HostWatchdog(self)
+        self.fault_driver = None
+        if self.injector is not None and any(
+                spec.kind in HOST_FAULT_KINDS
+                for spec in self.injector.specs):
+            self.fault_driver = ClusterFaultDriver(self, self.injector)
         self.kernels = {}            # vm -> GuestKernel
         self.servers = []            # OpenLoopServerWorkload instances
         self.placements = []         # (vm_name, host_name) decisions
+        self._names = set()          # every VM name ever admitted
+        if sim.sanitizer is not None:
+            sim.sanitizer.attach_cluster(self)
 
     def start(self):
         """Boot every host and arm the periodic timers."""
@@ -85,6 +107,9 @@ class Cluster:
         self.sim.after(self.monitor_window_ns, self._sample_monitors)
         if self.daemon is not None:
             self.daemon.start()
+        self.watchdog.start()
+        if self.fault_driver is not None:
+            self.fault_driver.start()
 
     def _sample_monitors(self):
         now = self.sim.now
@@ -98,7 +123,14 @@ class Cluster:
 
     def submit(self, request):
         """Admit, place, and boot one VM. Returns the chosen
-        :class:`Host`, or ``None`` on rejection."""
+        :class:`Host`, or ``None`` on rejection. A request reusing a
+        VM name the cluster already knows (resident, in flight, or
+        parked) is rejected outright — a double-submit must not
+        corrupt host state."""
+        if request.name in self._names:
+            self.sim.trace.count('cluster.duplicate_submits')
+            self.admission.reject(request, self.sim)
+            return None
         candidates = self.admission.admissible_hosts(self.hosts, request)
         if not candidates:
             self.admission.reject(request, self.sim)
@@ -117,6 +149,7 @@ class Cluster:
         self._install_workload(kernel, request)
         self.migration.note_placed(vm)
         self.kernels[vm] = kernel
+        self._names.add(request.name)
         return host
 
     def _install_workload(self, kernel, request):
@@ -130,6 +163,37 @@ class Cluster:
                                             **request.workload_kwargs)
             server.install()
             self.servers.append(server)
+
+    # ------------------------------------------------------------------
+    # Host faults (called by the ClusterFaultDriver, or directly by
+    # tests and bespoke scenarios)
+    # ------------------------------------------------------------------
+
+    def crash_host(self, host, down_ns=250 * MS):
+        """Crash ``host``: in-flight migrations *to* it roll back to
+        their sources, its resident VMs are orphaned into the recovery
+        controller, and the host reboots empty after ``down_ns``.
+        Migrations *from* it keep flying — the hand-off already
+        happened — and adopt normally on their targets."""
+        if host.state == HOST_FAILED:
+            return
+        self.sim.trace.count('cluster.host_crashes')
+        # Order matters: rolling back inbound flights releases the
+        # doomed host's reservations while its state is still sane.
+        self.migration.abort_targeting(host)
+        orphans = host.fail()
+        self.recovery.on_host_crash(host, orphans)
+        self.sim.after(down_ns, self.recovery.on_host_recovered, host)
+
+    def degrade_host(self, host, down_ns=250 * MS):
+        """Degrade ``host``'s health: the watchdog quarantines it (no
+        new placements; the rebalance daemon drains it) until it
+        recovers after ``down_ns``."""
+        if host.state != 'up':
+            return
+        self.sim.trace.count('cluster.host_degrades')
+        host.degrade()
+        self.sim.after(down_ns, self.recovery.on_host_recovered, host)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -184,7 +248,18 @@ class RebalanceDaemon:
 
     def _check(self):
         sim = self.cluster.sim
+        self._prune_cooldowns(sim.now)
         for host in self.cluster.hosts:
+            if host.state == HOST_FAILED:
+                # A dead host has nothing to shed; drop its trip state
+                # so it re-arms cleanly when it reboots empty.
+                self.tripped.discard(host.index)
+                continue
+            if host.quarantined:
+                # Drain: one VM per period off a quarantined host,
+                # regardless of pressure.
+                self._evict_one(host, drain=True)
+                continue
             pressure = host.steal_pressure()
             if host.index in self.tripped:
                 if pressure < self.low_threshold:
@@ -198,49 +273,72 @@ class RebalanceDaemon:
                 self._evict_one(host)
         sim.after(self.check_period_ns, self._check)
 
-    def _evict_one(self, host):
-        victim = self._pick_victim(host)
+    def _prune_cooldowns(self, now):
+        """Cooldown bookkeeping stays bounded across long chaos runs:
+        drop entries whose cooldown has expired (they can never block a
+        move again) — which also covers VMs that left the cluster
+        (migrated away, crashed, or parked) once their window lapses."""
+        expired = [vm for vm, moved in self._last_moved.items()
+                   if now - moved >= self.vm_cooldown_ns]
+        for vm in expired:
+            del self._last_moved[vm]
+
+    def _evict_one(self, host, drain=False):
+        victim = self._pick_victim(host, drain=drain)
         if victim is None:
             return
-        target = self._pick_target(host, victim)
+        target = self._pick_target(host, victim, drain=drain)
         if target is None:
             return
+        reason = 'drain' if drain else 'rebalance'
         record = self.cluster.migration.migrate(victim, host, target,
-                                                reason='rebalance')
+                                                reason=reason)
         if record is not None:
             self._last_moved[victim] = self.cluster.sim.now
+            if drain:
+                self.cluster.sim.trace.count('cluster.drain_migrations')
 
-    def _pick_victim(self, host):
+    def _pick_victim(self, host, drain=False):
         """The resident VM suffering the most steal (it gains the most
-        from leaving), skipping in-flight and cooling-down VMs."""
+        from leaving), skipping in-flight and cooling-down VMs. When
+        draining a quarantined host, cooldowns and missing profiles do
+        not block eviction — everything must leave."""
         now = self.cluster.sim.now
         best = None
         best_steal = -1.0
         for vm in host.resident_vms:
             if vm in self.cluster.migration.in_flight:
                 continue
-            moved = self._last_moved.get(vm)
-            if moved is not None and now - moved < self.vm_cooldown_ns:
+            if self.cluster.migration.breaker_open(vm):
                 continue
+            if not drain:
+                moved = self._last_moved.get(vm)
+                if moved is not None and now - moved < self.vm_cooldown_ns:
+                    continue
             profile = host.monitor.profiles.get(vm)
-            if profile is None:
+            steal = profile.steal_frac if profile is not None else 0.0
+            if profile is None and not drain:
                 continue
-            if profile.steal_frac > best_steal:
+            if steal > best_steal:
                 best = vm
-                best_steal = profile.steal_frac
+                best_steal = steal
         return best
 
-    def _pick_target(self, source, vm):
-        """The least-interfered host with room, if moving there is a
-        clear win over staying."""
+    def _pick_target(self, source, vm, drain=False):
+        """The least-interfered accepting host with room. A rebalance
+        move must buy at least ``min_gain`` of score over staying; a
+        drain off a quarantined host takes any accepting host — the
+        point is to leave, not to profit."""
         source_score = source.interference_score()
         best = None
         best_score = None
         for host in self.cluster.hosts:
-            if host is source or not host.has_capacity(vm.n_vcpus):
+            if host is source or not host.accepting:
+                continue
+            if not host.has_capacity(vm.n_vcpus):
                 continue
             score = host.interference_score()
-            if score > source_score - self.min_gain:
+            if not drain and score > source_score - self.min_gain:
                 continue
             if best_score is None or score < best_score:
                 best = host

@@ -20,6 +20,11 @@ IRS = 'irs'
 
 HOST_STRATEGIES = (VANILLA, PLE, RELAXED_CO, IRS)
 
+# Host health states (repro.cluster.recovery drives the transitions).
+HOST_UP = 'up'
+HOST_DEGRADED = 'degraded'
+HOST_FAILED = 'failed'
+
 
 class HostSpec:
     """Declarative description of one host.
@@ -69,6 +74,12 @@ class Host:
         self._next_pcpu = 0
         # HostInterferenceMonitor, installed by the cluster.
         self.monitor = None
+        # Health plane (repro.cluster.recovery drives the transitions).
+        self.state = HOST_UP
+        # Quarantined hosts take no new placements and are drained by
+        # the rebalance daemon; set/cleared by the HostWatchdog.
+        self.quarantined = False
+        self.crashes = 0
 
     def _descriptor(self):
         strategy = self.spec.strategy
@@ -98,6 +109,42 @@ class Host:
 
     def has_capacity(self, n_vcpus):
         return self.used_vcpus + n_vcpus <= self.spec.capacity_vcpus
+
+    @property
+    def accepting(self):
+        """May new VMs be placed (or migrated onto) this host?"""
+        return self.state == HOST_UP and not self.quarantined
+
+    # ------------------------------------------------------------------
+    # Health transitions (driven by repro.cluster.recovery)
+    # ------------------------------------------------------------------
+
+    def fail(self):
+        """Crash this host: every resident VM is evicted (vCPUs
+        OFFLINE, schedulers deregistered) and returned as the orphan
+        list the recovery controller must re-home. In-flight
+        migrations involving this host are the cluster's problem —
+        abort them *before* calling this."""
+        orphans = list(self.resident_vms)
+        for vm in orphans:
+            self.evict_vm(vm)
+        self.state = HOST_FAILED
+        self.crashes += 1
+        return orphans
+
+    def degrade(self):
+        """Mark this host unhealthy; the watchdog quarantines it."""
+        self.state = HOST_DEGRADED
+
+    def recover(self):
+        """Return the host to service (empty after a crash; still
+        populated after a degradation). Monitor history is stale after
+        an outage, so profiles restart from a fresh window."""
+        self.state = HOST_UP
+        if self.monitor is not None:
+            self.monitor.profiles = {}
+            for vm in self.resident_vms:
+                self.monitor.track(vm)
 
     # ------------------------------------------------------------------
     # VM lifecycle
@@ -179,6 +226,9 @@ class Host:
         return self.monitor.host_score()
 
     def __repr__(self):
-        return '<Host %s vms=%d used=%d/%d>' % (
+        health = '' if self.state == HOST_UP else ' ' + self.state
+        if self.quarantined:
+            health += ' quarantined'
+        return '<Host %s vms=%d used=%d/%d%s>' % (
             self.name, len(self.resident_vms), self.used_vcpus,
-            self.spec.capacity_vcpus)
+            self.spec.capacity_vcpus, health)

@@ -46,10 +46,11 @@ class MigrationCostModel:
 
 class MigrationRecord:
     """The ledger entry for one migration (in-flight until
-    ``completed_ns`` is set)."""
+    ``completed_ns`` or ``aborted_ns`` is set)."""
 
     __slots__ = ('vm_name', 'source', 'target', 'reason', 'started_ns',
-                 'transfer_ns', 'completed_ns')
+                 'transfer_ns', 'completed_ns', 'aborted_ns',
+                 'abort_reason')
 
     def __init__(self, vm_name, source, target, reason, started_ns,
                  transfer_ns):
@@ -60,6 +61,8 @@ class MigrationRecord:
         self.started_ns = started_ns
         self.transfer_ns = transfer_ns
         self.completed_ns = None
+        self.aborted_ns = None
+        self.abort_reason = None
 
     def as_dict(self):
         return {
@@ -70,13 +73,35 @@ class MigrationRecord:
             'started_ns': self.started_ns,
             'transfer_ns': self.transfer_ns,
             'completed_ns': self.completed_ns,
+            'aborted_ns': self.aborted_ns,
+            'abort_reason': self.abort_reason,
         }
 
     def __repr__(self):
-        state = ('done@%d' % self.completed_ns
-                 if self.completed_ns is not None else 'in-flight')
+        if self.completed_ns is not None:
+            state = 'done@%d' % self.completed_ns
+        elif self.aborted_ns is not None:
+            state = 'aborted@%d(%s)' % (self.aborted_ns, self.abort_reason)
+        else:
+            state = 'in-flight'
         return '<Migration %s %s->%s %s %s>' % (
             self.vm_name, self.source, self.target, self.reason, state)
+
+
+class _Flight:
+    """Book-keeping for one in-flight migration: the ledger record,
+    both endpoints, and the cancellable events that decide its fate."""
+
+    __slots__ = ('record', 'source', 'target', 'resume_event',
+                 'abort_event')
+
+    def __init__(self, record, source, target, resume_event,
+                 abort_event=None):
+        self.record = record
+        self.source = source
+        self.target = target
+        self.resume_event = resume_event
+        self.abort_event = abort_event
 
 
 class LiveMigrationEngine:
@@ -86,16 +111,40 @@ class LiveMigrationEngine:
     so the invariant the sanitizer (and the cluster tests) lean on is
     local: between ``migrate`` and ``_resume`` the VM is resident
     nowhere and runnable nowhere.
+
+    Migrations are *abortable*: an injected ``migration_abort`` fault
+    or a target-host crash triggers :meth:`abort`, which cancels the
+    pending resume, releases the target's capacity reservation, and
+    rolls the VM back to the source (re-registering its vCPUs and
+    repointing its kernel — the same adopt path a completed migration
+    uses). Aborted moves retry with exponential backoff; a per-VM
+    circuit breaker stops flapping VMs from churning: after
+    ``breaker_threshold`` consecutive aborts, :meth:`migrate` refuses
+    the VM until ``breaker_reset_ns`` has passed, and one completed
+    migration closes the breaker entirely.
     """
 
-    def __init__(self, sim, cost_model=None):
+    def __init__(self, sim, cost_model=None, injector=None,
+                 retry_backoff_ns=50 * MS, max_retry_backoff_shift=5,
+                 breaker_threshold=3, breaker_reset_ns=1 * SEC):
         self.sim = sim
         self.cost_model = cost_model or MigrationCostModel()
+        # Fault plane (None = every transfer completes).
+        self.injector = injector
+        self.retry_backoff_ns = retry_backoff_ns
+        self.max_retry_backoff_shift = max_retry_backoff_shift
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_ns = breaker_reset_ns
+        # Rollback fallback when the source died too: the recovery
+        # controller's re-place-or-park path (set by the cluster).
+        self.on_orphan = None
         self.records = []
-        self.in_flight = {}          # vm -> MigrationRecord
+        self.in_flight = {}          # vm -> _Flight
         # vm -> cumulative run_ns at placement / last resume; the delta
         # against this is the dirtying run time the cost model charges.
         self._run_checkpoint = {}
+        self._failures = {}          # vm -> consecutive aborted attempts
+        self._breaker_until = {}     # vm -> time the breaker half-opens
 
     def note_placed(self, vm):
         """Checkpoint a VM's run counters at (re)placement so later
@@ -106,16 +155,47 @@ class LiveMigrationEngine:
         now = self.sim.now
         return sum(vcpu.snapshot_accounting(now)[0] for vcpu in vm.vcpus)
 
+    # ------------------------------------------------------------------
+    # Circuit breaker
+    # ------------------------------------------------------------------
+
+    def breaker_open(self, vm):
+        """Is ``vm`` barred from migrating right now?"""
+        until = self._breaker_until.get(vm)
+        if until is None:
+            return False
+        if self.sim.now >= until:
+            # Half-open: the next migrate() is the probe.
+            del self._breaker_until[vm]
+            return False
+        return True
+
+    def _record_failure(self, vm):
+        count = self._failures.get(vm, 0) + 1
+        self._failures[vm] = count
+        if count >= self.breaker_threshold:
+            self._breaker_until[vm] = self.sim.now + self.breaker_reset_ns
+            self.sim.trace.count('cluster.migration_breaker_trips')
+        return count
+
+    # ------------------------------------------------------------------
+    # The move itself
+    # ------------------------------------------------------------------
+
     def migrate(self, vm, source, target, reason='rebalance'):
         """Start migrating ``vm`` from ``source`` to ``target``.
 
         Returns the :class:`MigrationRecord`, or ``None`` when the move
-        is refused (already in flight, degenerate source==target, or
-        the target lacks capacity once its reservations are counted).
+        is refused (already in flight, degenerate source==target, the
+        target lacks capacity or is not accepting, or the VM's circuit
+        breaker is open).
         """
         if vm in self.in_flight or source is target:
             return None
-        if not target.has_capacity(vm.n_vcpus):
+        if not target.accepting or not target.has_capacity(vm.n_vcpus):
+            return None
+        if self.breaker_open(vm):
+            self.sim.trace.count('cluster.migration_breaker_refusals')
             return None
         dirty_run_ns = self._run_ns(vm) - self._run_checkpoint.get(vm, 0)
         transfer = self.cost_model.transfer_ns(
@@ -124,22 +204,112 @@ class LiveMigrationEngine:
                                  self.sim.now, transfer)
         source.evict_vm(vm)
         target.reserved_vcpus += vm.n_vcpus
-        self.in_flight[vm] = record
+        resume = self.sim.after(transfer, self._resume, vm)
+        flight = _Flight(record, source, target, resume)
+        self.in_flight[vm] = flight
         self.records.append(record)
         self.sim.trace.count('cluster.migrations')
-        self.sim.after(transfer, self._resume, vm, target)
+        # The fault plane decides *at departure* whether this transfer
+        # dies mid-flight (one roll per migration, deterministic).
+        if (self.injector is not None
+                and self.injector.migration_aborted(vm) is not None):
+            point = self.injector.abort_point_ns(transfer)
+            flight.abort_event = self.sim.after(point, self.abort, vm,
+                                                'fault')
         return record
 
-    def _resume(self, vm, target):
-        record = self.in_flight.pop(vm)
+    def _resume(self, vm):
+        flight = self.in_flight.pop(vm)
+        target = flight.target
+        if flight.abort_event is not None:
+            flight.abort_event.cancel()
         target.reserved_vcpus -= vm.n_vcpus
         target.adopt_vm(vm)
         # Re-checkpoint: the transfer shipped the dirty pages, so the
         # next migration starts from a clean slate.
         self._run_checkpoint[vm] = self._run_ns(vm)
-        record.completed_ns = self.sim.now
+        flight.record.completed_ns = self.sim.now
+        self._failures.pop(vm, None)
+        self._breaker_until.pop(vm, None)
         self.sim.trace.count('cluster.migrations_done')
+
+    # ------------------------------------------------------------------
+    # Abort / rollback
+    # ------------------------------------------------------------------
+
+    def abort(self, vm, reason='fault', retry=True):
+        """Kill the in-flight migration of ``vm`` and roll it back to
+        the source: release the target reservation, re-register the
+        vCPUs, repoint the kernel and hypercall facades. No-op when the
+        VM is not in flight (the transfer already completed).
+
+        When the source has crashed in the meantime the VM cannot go
+        back; it is handed to :attr:`on_orphan` (the recovery
+        controller) to be re-placed or parked.
+        """
+        flight = self.in_flight.pop(vm, None)
+        if flight is None:
+            return False
+        flight.resume_event.cancel()
+        if flight.abort_event is not None:
+            flight.abort_event.cancel()
+        flight.target.reserved_vcpus -= vm.n_vcpus
+        flight.record.aborted_ns = self.sim.now
+        flight.record.abort_reason = reason
+        self.sim.trace.count('cluster.migration_aborts')
+        failures = self._record_failure(vm)
+
+        from .host import HOST_FAILED
+        if flight.source.state == HOST_FAILED:
+            # Nowhere to roll back to: the source died while the VM was
+            # in flight. The recovery controller re-places or parks it.
+            self.sim.trace.count('cluster.migration_orphans')
+            if self.on_orphan is not None:
+                self.on_orphan(vm)
+            return True
+
+        flight.source.adopt_vm(vm)
+        self._run_checkpoint[vm] = self._run_ns(vm)
+        self.sim.trace.count('cluster.migration_rollbacks')
+
+        if retry and not self.breaker_open(vm):
+            shift = min(failures - 1, self.max_retry_backoff_shift)
+            backoff = self.retry_backoff_ns << shift
+            self.sim.after(backoff, self._retry, vm, flight.source,
+                           flight.target, flight.record.reason)
+        return True
+
+    def _retry(self, vm, source, target, reason):
+        """Backed-off re-attempt of an aborted migration. Re-validates
+        the world first: the VM must still sit on the source and the
+        target must still be accepting — otherwise the retry is dropped
+        (the rebalance daemon will find a better move on its own)."""
+        if vm in self.in_flight or vm not in source.resident_vms:
+            return
+        if not target.accepting or not target.has_capacity(vm.n_vcpus):
+            return
+        self.sim.trace.count('cluster.migration_retries')
+        self.migrate(vm, source, target, reason=reason)
+
+    def abort_targeting(self, host, reason='target_crash'):
+        """Roll back every in-flight migration aimed at ``host`` (the
+        target crashed mid-transfer). Retries are suppressed — the
+        target is gone."""
+        for vm, flight in list(self.in_flight.items()):
+            if flight.target is host:
+                self.abort(vm, reason=reason, retry=False)
+
+    def flights_from(self, host):
+        """In-flight migrations whose *source* is ``host``. They keep
+        flying after a source crash — the hand-off already happened —
+        and complete through the normal adopt path on the target."""
+        return [vm for vm, flight in self.in_flight.items()
+                if flight.source is host]
 
     @property
     def completed(self):
         return [r for r in self.records if r.completed_ns is not None]
+
+    @property
+    def aborted(self):
+        return [r for r in self.records if r.aborted_ns is not None]

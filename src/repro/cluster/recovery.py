@@ -1,0 +1,174 @@
+"""Cluster fault tolerance: crash recovery, parking, quarantine, and
+the deterministic chaos driver.
+
+Three cooperating components, all driven by ordinary events on the one
+simulator queue so chaos campaigns are exactly as reproducible as
+fault-free runs:
+
+* :class:`ClusterFaultDriver` — the cluster-side consumer of the fault
+  plane (:mod:`repro.faults`). On a fixed tick it polls the injector
+  for ``host_crash`` / ``host_degrade`` faults per host (hosts visited
+  in index order, one dedicated RNG stream per spec — same seed, same
+  timeline) and applies them through the cluster.
+* :class:`RecoveryController` — re-homes orphaned VMs. A crashed
+  host's VMs re-enter placement through the admission filter and the
+  cluster's policy, with bounded retries and exponential backoff;
+  when capacity is exhausted the VM is *parked* (vCPUs stay OFFLINE,
+  explicitly accounted) and re-tried when a host returns to service.
+* :class:`HostWatchdog` — the host-level mirror of the per-VM
+  :class:`~repro.core.sender.SaHealthWatchdog`: degraded hosts are
+  quarantined (no new placements; the rebalance daemon drains them)
+  and re-armed once they recover.
+
+The orphan ledger invariant the sanitizer enforces: every VM the
+cluster ever admitted is, at every event boundary, exactly one of
+resident-on-one-host, in-flight-migration, pending-recovery, or
+parked.
+"""
+
+from ..simkernel.units import MS
+
+
+class RecoveryController:
+    """Re-places orphaned VMs; parks them when the cluster is full.
+
+    ``max_attempts`` bounds the placement retries per orphan episode;
+    attempt *n* backs off ``backoff_ns << (n-1)``. A parked VM is not
+    forgotten: every host recovery triggers one fresh re-placement
+    attempt for the whole parking lot (in parking order).
+    """
+
+    def __init__(self, cluster, max_attempts=4, backoff_ns=25 * MS):
+        if max_attempts < 1:
+            raise ValueError('max_attempts must be >= 1')
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.max_attempts = max_attempts
+        self.backoff_ns = backoff_ns
+        self.pending = {}            # vm -> attempts so far
+        self.parked = []             # VMs with nowhere to go, in order
+        self.replaced = 0            # orphans successfully re-homed
+        self.parks = 0               # park transitions (a VM can repeat)
+
+    # ------------------------------------------------------------------
+    # Crash / recovery entry points (called by the cluster)
+    # ------------------------------------------------------------------
+
+    def on_host_crash(self, host, orphans):
+        """Start re-placing every VM ``host`` dropped."""
+        for vm in orphans:
+            self.recover_vm(vm)
+
+    def on_host_recovered(self, host):
+        """``host`` is back in service; give every parked VM a fresh
+        chance (new attempt budget — capacity just appeared)."""
+        host.recover()
+        self.sim.trace.count('cluster.host_recoveries')
+        for vm in list(self.parked):
+            self.parked.remove(vm)
+            self.sim.trace.count('cluster.unparked')
+            self.recover_vm(vm)
+
+    def recover_vm(self, vm):
+        """Begin a recovery episode for a detached VM (crash orphan or
+        a migration rollback whose source died)."""
+        self.pending[vm] = 0
+        self._try_place(vm)
+
+    # ------------------------------------------------------------------
+    # Placement loop
+    # ------------------------------------------------------------------
+
+    def _try_place(self, vm):
+        if vm not in self.pending:
+            return
+        attempts = self.pending[vm] + 1
+        self.pending[vm] = attempts
+        candidates = [h for h in self.cluster.hosts
+                      if h.accepting and h.has_capacity(vm.n_vcpus)]
+        if candidates:
+            # The VM re-enters through the same policy as a fresh
+            # placement; policies only read n_vcpus off the request,
+            # which the VM itself carries.
+            host = self.cluster.policy.choose(candidates, vm)
+            del self.pending[vm]
+            host.adopt_vm(vm)
+            self.cluster.migration.note_placed(vm)
+            self.replaced += 1
+            self.sim.trace.count('cluster.recoveries')
+            return
+        if attempts >= self.max_attempts:
+            del self.pending[vm]
+            self.parked.append(vm)
+            self.parks += 1
+            self.sim.trace.count('cluster.parked')
+            return
+        self.sim.trace.count('cluster.recovery_retries')
+        backoff = self.backoff_ns << (attempts - 1)
+        self.sim.after(backoff, self._try_place, vm)
+
+
+class HostWatchdog:
+    """Quarantines degraded hosts, re-arms recovered ones.
+
+    The per-host mirror of the SA health watchdog: a degraded host is
+    pulled out of the placement pool (``host.quarantined``) so the
+    admission controller skips it and the rebalance daemon drains it;
+    once the health plane reports the host UP again the quarantine
+    lifts on the next check.
+    """
+
+    def __init__(self, cluster, check_period_ns=50 * MS):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.check_period_ns = check_period_ns
+        self.quarantines = 0
+        self.rearms = 0
+
+    def start(self):
+        self.sim.after(self.check_period_ns, self._check)
+
+    def _check(self):
+        for host in self.cluster.hosts:
+            if host.state == 'degraded' and not host.quarantined:
+                host.quarantined = True
+                self.quarantines += 1
+                self.sim.trace.count('cluster.quarantines')
+            elif host.state == 'up' and host.quarantined:
+                host.quarantined = False
+                self.rearms += 1
+                self.sim.trace.count('cluster.quarantine_rearms')
+        self.sim.after(self.check_period_ns, self._check)
+
+
+class ClusterFaultDriver:
+    """Applies host-level faults from a :class:`FaultInjector` on a
+    fixed tick.
+
+    Hosts are visited in index order and only healthy hosts roll — a
+    host that is already down cannot crash again, which keeps the
+    number of RNG draws (and therefore the whole timeline) a pure
+    function of seed + plan.
+    """
+
+    def __init__(self, cluster, injector, tick_ns=100 * MS):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.injector = injector
+        self.tick_ns = tick_ns
+
+    def start(self):
+        self.sim.after(self.tick_ns, self._tick)
+
+    def _tick(self):
+        for host in self.cluster.hosts:
+            if host.state != 'up':
+                continue
+            spec = self.injector.host_fault(host.name)
+            if spec is None:
+                continue
+            if spec.kind == 'host_crash':
+                self.cluster.crash_host(host, down_ns=spec.down_ns)
+            else:
+                self.cluster.degrade_host(host, down_ns=spec.down_ns)
+        self.sim.after(self.tick_ns, self._tick)

@@ -12,11 +12,17 @@ the second half of the story: under a bad initial placement it churns
 a good placement stays quiet.
 """
 
+from ..faults import FaultPlan, parse_fault_plan
 from ..metrics import LatencyRecorder
 from ..simkernel import Simulator
 from ..simkernel.units import MS, SEC
 from .cluster import Cluster, RebalanceDaemon, VmRequest
 from .host import HOST_STRATEGIES, HostSpec
+
+# Trace-counter prefixes surfaced in ClusterRunResult.counters — the
+# fault/recovery ledger the resilience figure and the determinism gate
+# read (parked VMs, rollbacks, leaked-reservation-free aborts, ...).
+CLUSTER_COUNTER_PREFIXES = ('cluster.', 'faults.')
 
 
 class ClusterRunResult:
@@ -24,7 +30,9 @@ class ClusterRunResult:
 
     def __init__(self, strategy, placement, seed, throughput,
                  latency_summary, migrations, rejections, dropped,
-                 placements, rebalance_trips):
+                 placements, rebalance_trips, faults=None, counters=None,
+                 recovered=0, parked=0, aborted_migrations=0,
+                 host_crashes=0):
         self.strategy = strategy
         self.placement = placement
         self.seed = seed
@@ -35,6 +43,12 @@ class ClusterRunResult:
         self.dropped = dropped
         self.placements = placements
         self.rebalance_trips = rebalance_trips
+        self.faults = faults
+        self.counters = dict(counters or {})
+        self.recovered = recovered
+        self.parked = parked
+        self.aborted_migrations = aborted_migrations
+        self.host_crashes = host_crashes
 
     def summary(self):
         """JSON-simple dict (what the pipeline caches)."""
@@ -49,6 +63,12 @@ class ClusterRunResult:
             'dropped': self.dropped,
             'placements': self.placements,
             'rebalance_trips': self.rebalance_trips,
+            'faults': self.faults,
+            'counters': self.counters,
+            'recovered': self.recovered,
+            'parked': self.parked,
+            'aborted_migrations': self.aborted_migrations,
+            'host_crashes': self.host_crashes,
         }
 
 
@@ -57,23 +77,36 @@ def run_consolidation(strategy='vanilla', placement='first_fit', seed=0,
                       n_hog_vms=4, hog_vcpus=2, n_server_vms=4,
                       server_vcpus=2, arrivals_per_sec=400,
                       service_ns=2 * MS, rebalance=True,
-                      warmup_ns=600 * MS, measure_ns=1 * SEC):
+                      warmup_ns=600 * MS, measure_ns=1 * SEC,
+                      faults=None):
     """Run one consolidation experiment and return a
     :class:`ClusterRunResult`.
 
     ``strategy`` is the per-host hypervisor strategy (every host gets
     the same one); server guests opt into IRS when the strategy is
     ``'irs'``. Hog VMs are always vanilla guests — they model opaque
-    batch tenants.
+    batch tenants. ``faults`` selects a chaos campaign: a campaign
+    name (see :data:`repro.faults.CAMPAIGNS`), a
+    :class:`~repro.faults.FaultPlan`, or ``None`` for a reliable
+    cluster.
     """
     if strategy not in HOST_STRATEGIES:
         raise ValueError('unknown strategy %r' % strategy)
+    fault_plan = None
+    fault_name = None
+    if faults is not None:
+        if isinstance(faults, FaultPlan):
+            fault_plan = faults
+        else:
+            fault_plan = parse_fault_plan(faults)
+        fault_name = fault_plan.name if fault_plan is not None else None
     sim = Simulator(seed=seed)
     specs = [HostSpec('host%d' % i, n_pcpus=host_pcpus, strategy=strategy,
                       capacity_vcpus=capacity_vcpus)
              for i in range(n_hosts)]
     daemon = RebalanceDaemon() if rebalance else None
-    cluster = Cluster(sim, specs, policy=placement, rebalance=daemon)
+    cluster = Cluster(sim, specs, policy=placement, rebalance=daemon,
+                      fault_plan=fault_plan)
 
     # Hogs arrive first, staggered so each lands on live monitor data.
     for i in range(n_hog_vms):
@@ -106,6 +139,9 @@ def run_consolidation(strategy='vanilla', placement='first_fit', seed=0,
         merged.samples.extend(server.latency.samples)
         throughput += server.throughput()
         dropped += server.dropped
+    counters = {name: count
+                for name, count in sorted(sim.trace.counters.items())
+                if name.startswith(CLUSTER_COUNTER_PREFIXES)}
     return ClusterRunResult(
         strategy=strategy,
         placement=placement,
@@ -117,4 +153,10 @@ def run_consolidation(strategy='vanilla', placement='first_fit', seed=0,
         dropped=dropped,
         placements=list(cluster.placements),
         rebalance_trips=sim.trace.counters['cluster.rebalance_trips'],
+        faults=fault_name,
+        counters=counters,
+        recovered=cluster.recovery.replaced,
+        parked=len(cluster.recovery.parked),
+        aborted_migrations=len(cluster.migration.aborted),
+        host_crashes=sum(host.crashes for host in cluster.hosts),
     )

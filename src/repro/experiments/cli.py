@@ -138,6 +138,13 @@ def main(argv=None):
                              '(deterministic: results are ordered and '
                              'bit-identical to --jobs 1); defaults to '
                              'the REPRO_JOBS environment variable, else 1')
+    parser.add_argument('--wall-timeout', type=float, metavar='SECONDS',
+                        dest='wall_timeout',
+                        help='kill and retry (once) any single run whose '
+                             'worker produces no result within SECONDS of '
+                             'real time; a second timeout fails the batch '
+                             'naming the hung spec. Implies worker '
+                             'processes even with --jobs 1')
     parser.add_argument('--cache', action=argparse.BooleanOptionalAction,
                         default=True,
                         help='reuse cached run results from %s, keyed by '
@@ -193,12 +200,18 @@ def main(argv=None):
                          % (args.strategy, ', '.join(known)))
     if args.figure is None:
         parser.error('the following arguments are required: figure')
+    if args.wall_timeout is not None and args.wall_timeout <= 0:
+        parser.error('--wall-timeout must be positive, got %g'
+                     % args.wall_timeout)
 
     if args.figure == 'list':
         return _list_experiments()
 
-    previous_executor = set_default_executor(
-        ParallelRunner(jobs=jobs) if jobs > 1 else None)
+    executor = None
+    if jobs > 1 or args.wall_timeout is not None:
+        executor = ParallelRunner(jobs=jobs,
+                                  wall_timeout=args.wall_timeout)
+    previous_executor = set_default_executor(executor)
     previous_cache = set_default_cache(ResultCache() if args.cache
                                        else None)
     try:

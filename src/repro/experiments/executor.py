@@ -93,7 +93,7 @@ def execute_spec(spec):
             hog_vcpus=spec.hog_vcpus, n_server_vms=spec.n_server_vms,
             server_vcpus=spec.fg_vcpus,
             arrivals_per_sec=spec.arrivals_per_sec,
-            rebalance=spec.rebalance, **kwargs)
+            rebalance=spec.rebalance, faults=spec.faults, **kwargs)
         return RunOutcome(spec, throughput=result.throughput,
                           latency_summary=result.latency_summary,
                           cluster=result.summary())
@@ -175,37 +175,90 @@ class ParallelRunner:
     order, so a parallel batch is byte-identical to a serial one. A
     batch of one (or ``jobs=1``) short-circuits to the serial path —
     no pool, no pickling.
+
+    ``wall_timeout`` (seconds, real time) arms a watchdog against hung
+    workers: a spec whose result does not arrive within the window has
+    its worker processes terminated and the pool rebuilt, the batch's
+    uncollected specs are resubmitted, and the timed-out spec itself is
+    retried **once** — a second timeout raises :class:`RunError` naming
+    it. The watchdog needs real processes to kill, so an armed runner
+    never short-circuits to the serial path.
     """
 
-    def __init__(self, jobs=None):
+    def __init__(self, jobs=None, wall_timeout=None):
         if jobs is not None and jobs < 1:
             raise ValueError('jobs must be >= 1')
+        if wall_timeout is not None and wall_timeout <= 0:
+            raise ValueError('wall_timeout must be positive')
         self.jobs = jobs or os.cpu_count() or 1
+        self.wall_timeout = wall_timeout
+        # The worker entry point, swappable by tests that need a
+        # controllable (e.g. deliberately hanging) workload.
+        self._worker = _execute_in_worker
 
     def map(self, specs):
         specs = list(specs)
-        if self.jobs == 1 or len(specs) <= 1:
+        if ((self.jobs == 1 or len(specs) <= 1)
+                and self.wall_timeout is None):
             return SerialExecutor().map(specs)
-        workers = min(self.jobs, len(specs))
+        workers = max(1, min(self.jobs, len(specs)))
         pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
         try:
-            futures = []
-            for spec in specs:
-                METRICS.counter('executor.dispatched').inc()
-                futures.append(pool.submit(_execute_in_worker, spec))
-            outcomes = []
-            for spec, future in zip(specs, futures):
+            futures = self._submit(pool, specs)
+            outcomes = [None] * len(specs)
+            retried = set()
+            i = 0
+            while i < len(specs):
+                spec = specs[i]
                 try:
-                    outcomes.append(future.result())
+                    outcomes[i] = futures[i].result(
+                        timeout=self.wall_timeout)
+                except concurrent.futures.TimeoutError as exc:
+                    METRICS.counter('executor.wall_timeouts').inc()
+                    self._kill_pool(pool)
+                    if i in retried:
+                        raise RunError(spec, TimeoutError(
+                            'no result within %.1fs wall time (twice)'
+                            % self.wall_timeout)) from exc
+                    retried.add(i)
+                    METRICS.counter('executor.timeout_retries').inc()
+                    # Every uncollected spec's worker died with the old
+                    # pool; resubmit them all (determinism makes the
+                    # redone work exact, just wasted).
+                    pool = concurrent.futures.ProcessPoolExecutor(
+                        max_workers=workers)
+                    futures[i:] = self._submit(pool, specs[i:])
+                    continue
                 except Exception as exc:
                     for pending in futures:
                         pending.cancel()
                     raise RunError(spec, exc) from exc
+                i += 1
             return outcomes
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
 
+    def _submit(self, pool, specs):
+        futures = []
+        for spec in specs:
+            METRICS.counter('executor.dispatched').inc()
+            futures.append(pool.submit(self._worker, spec))
+        return futures
+
+    @staticmethod
+    def _kill_pool(pool):
+        """Terminate a pool whose worker hung: SIGTERM every worker
+        process (a hung simulation never reaches a cooperative
+        shutdown), then reap the executor without waiting."""
+        processes = getattr(pool, '_processes', None) or {}
+        for proc in list(processes.values()):
+            proc.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+
     def __repr__(self):
+        if self.wall_timeout is not None:
+            return ('<ParallelRunner jobs=%d wall_timeout=%.1fs>'
+                    % (self.jobs, self.wall_timeout))
         return '<ParallelRunner jobs=%d>' % self.jobs
 
 

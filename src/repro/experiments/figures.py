@@ -598,6 +598,57 @@ def cluster_consolidation(quick=True):
         rows, notes)
 
 
+def cluster_resilience(quick=True):
+    """Cluster fault-tolerance figure: how consolidation degrades under
+    chaos campaigns, per placement policy.
+
+    Rows are {no-faults, host-flap, cluster-chaos} x {first_fit,
+    interference_aware} on IRS hosts. The fault-free rows are the
+    baseline; the chaos rows show what the recovery controller,
+    migration rollback, and quarantine plane preserve: throughput and
+    tail latency degrade, but every orphaned VM is either re-placed
+    (``recovered``) or explicitly parked — never lost.
+    """
+    cfg = _settings(quick)
+    measure_ns = 1 * SEC if quick else 2 * SEC
+    campaigns = (None, 'host-flap-15', 'cluster-chaos')
+    placements = ('first_fit', 'interference_aware')
+    grid = [(faults, placement) for faults in campaigns
+            for placement in placements]
+    plan = {cell: [cluster_spec(strategy=IRS, placement=cell[1],
+                                seed=seed, measure_ns=measure_ns,
+                                faults=cell[0])
+                   for seed in cfg['seeds']]
+            for cell in grid}
+    out = _outcomes([spec for specs in plan.values() for spec in specs])
+
+    rows = []
+    notes = {}
+    for faults, placement in grid:
+        specs = plan[(faults, placement)]
+        throughput = _mean([out[s].throughput for s in specs])
+        p99_ms = _mean([out[s].latency_summary['p99'] for s in specs]) / MS
+        crashes = _mean([out[s].cluster['host_crashes'] for s in specs])
+        aborted = _mean([out[s].cluster['aborted_migrations']
+                         for s in specs])
+        recovered = _mean([out[s].cluster['recovered'] for s in specs])
+        parked = _mean([out[s].cluster['parked'] for s in specs])
+        label = faults or 'none'
+        rows.append([label, placement, '%.0f' % throughput,
+                     '%.2f' % p99_ms, '%.1f' % crashes, '%.1f' % aborted,
+                     '%.1f' % recovered, '%.1f' % parked])
+        notes[(label, placement)] = {
+            'throughput': throughput, 'p99_ms': p99_ms,
+            'host_crashes': crashes, 'aborted_migrations': aborted,
+            'recovered': recovered, 'parked': parked}
+    return FigureResult(
+        'Cluster extension: resilience under chaos campaigns'
+        ' (IRS hosts)',
+        ['faults', 'placement', 'req/s', 'p99 (ms)', 'crashes',
+         'aborts', 'recovered', 'parked'],
+        rows, notes)
+
+
 ALL_FIGURES = {
     'fig1a': fig1a,
     'fig1b': fig1b,
@@ -615,4 +666,5 @@ ALL_FIGURES = {
     'sa_latency': sa_latency,
     'fairness_check': fairness_check,
     'cluster_consolidation': cluster_consolidation,
+    'cluster_resilience': cluster_resilience,
 }

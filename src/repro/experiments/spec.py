@@ -234,8 +234,10 @@ def cluster_spec(strategy='vanilla', placement='first_fit', seed=0,
                  n_hosts=4, n_pcpus=4, capacity_vcpus=None, n_hog_vms=4,
                  hog_vcpus=2, n_server_vms=4, server_vcpus=2,
                  arrivals_per_sec=400, rebalance=True, warmup_ns=None,
-                 measure_ns=None):
-    """Spec for one :func:`repro.cluster.run_consolidation` run."""
+                 measure_ns=None, faults=None):
+    """Spec for one :func:`repro.cluster.run_consolidation` run.
+    ``faults`` names a chaos campaign (``'cluster-chaos'``,
+    ``'host-flap-15'``, ...) from :data:`repro.faults.CAMPAIGNS`."""
     return ClusterSpec(app='cluster-consolidation', strategy=strategy,
                        kind=CLUSTER, seed=seed, n_pcpus=n_pcpus,
                        fg_vcpus=server_vcpus, n_hosts=n_hosts,
@@ -244,7 +246,8 @@ def cluster_spec(strategy='vanilla', placement='first_fit', seed=0,
                        n_server_vms=n_server_vms,
                        capacity_vcpus=capacity_vcpus,
                        arrivals_per_sec=arrivals_per_sec,
-                       warmup_ns=warmup_ns, measure_ns=measure_ns)
+                       warmup_ns=warmup_ns, measure_ns=measure_ns,
+                       faults=faults)
 
 
 def probe_spec(n_inter_vms, seed=0, trigger='preemption'):

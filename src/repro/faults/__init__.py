@@ -19,6 +19,7 @@ the protocol can be measured instead of assumed.
 
 from .injector import (
     FAULT_KINDS,
+    HOST_FAULT_KINDS,
     FaultInjector,
     FaultPlan,
     FaultSpec,
@@ -29,6 +30,7 @@ from .scenarios import CAMPAIGNS, get_campaign, parse_fault_plan
 __all__ = [
     'CAMPAIGNS',
     'FAULT_KINDS',
+    'HOST_FAULT_KINDS',
     'FaultInjector',
     'FaultPlan',
     'FaultSpec',

@@ -29,7 +29,21 @@ Fault kinds
                           path recovers it
 ``sa_ack_timeout``        the guest's SA acknowledgement is lost, so the
                           sender's grace window expires
+``host_crash``            a cluster host dies outright: its VMs are orphaned
+                          and the recovery controller re-places (or parks)
+                          them; the host reboots empty after ``down_ns``
+``host_degrade``          a cluster host's health degrades: the watchdog
+                          quarantines it (no new placements, drained by the
+                          rebalance daemon) until it recovers
+``migration_abort``       an in-flight inter-host live migration dies
+                          mid-transfer and must roll back to the source
 ========================  ====================================================
+
+The host-level and migration kinds are consumed by the cluster layer
+(:mod:`repro.cluster.recovery`), not by per-machine hooks: the cluster's
+fault driver polls :meth:`FaultInjector.host_fault` on its tick and the
+migration engine consults :meth:`FaultInjector.migration_aborted` when a
+transfer starts. On a single-machine run they simply never fire.
 """
 
 from collections import Counter
@@ -44,9 +58,15 @@ FAULT_KINDS = (
     'runstate_error',
     'migrator_fail',
     'sa_ack_timeout',
+    'host_crash',
+    'host_degrade',
+    'migration_abort',
 )
 
 _VIRQ_KINDS = ('virq_drop', 'virq_delay', 'virq_dup', 'virq_reorder')
+
+#: Cluster-level kinds rolled by the cluster fault driver's tick.
+HOST_FAULT_KINDS = ('host_crash', 'host_degrade')
 
 
 class HypercallFaultError(Exception):
@@ -72,14 +92,19 @@ class FaultSpec:
         flush_ns: how long ``virq_reorder`` may hold a vIRQ before
             force-delivering it.
         limit: at most this many firings per run; None is unlimited.
+        host: restrict host faults to hosts whose name equals (or
+            starts with) this prefix; None matches every host.
+        down_ns: for ``host_crash``/``host_degrade``, how long the host
+            stays down (or degraded) before it recovers.
     """
 
     __slots__ = ('kind', 'probability', 'virq', 'vm', 'delay_min_ns',
-                 'delay_max_ns', 'flush_ns', 'limit')
+                 'delay_max_ns', 'flush_ns', 'limit', 'host', 'down_ns')
 
     def __init__(self, kind, probability, virq=None, vm=None,
                  delay_min_ns=10_000, delay_max_ns=200_000,
-                 flush_ns=100_000, limit=None):
+                 flush_ns=100_000, limit=None, host=None,
+                 down_ns=250_000_000):
         if kind not in FAULT_KINDS:
             raise ValueError('unknown fault kind %r (want one of %s)'
                              % (kind, ', '.join(FAULT_KINDS)))
@@ -89,6 +114,8 @@ class FaultSpec:
         if delay_min_ns > delay_max_ns:
             raise ValueError('delay band is empty: [%d, %d]'
                              % (delay_min_ns, delay_max_ns))
+        if down_ns < 1:
+            raise ValueError('down_ns must be positive, got %r' % down_ns)
         self.kind = kind
         self.probability = probability
         self.virq = virq
@@ -97,9 +124,14 @@ class FaultSpec:
         self.delay_max_ns = delay_max_ns
         self.flush_ns = flush_ns
         self.limit = limit
+        self.host = host
+        self.down_ns = down_ns
 
     def matches_vm(self, vm):
         return self.vm is None or vm.name.startswith(self.vm)
+
+    def matches_host(self, host_name):
+        return self.host is None or host_name.startswith(self.host)
 
     def matches_virq(self, virq, vcpu):
         if self.virq is not None and virq != self.virq:
@@ -263,6 +295,45 @@ class FaultInjector:
                 self._record(spec)
                 return True
         return False
+
+    # ------------------------------------------------------------------
+    # Hook: cluster fault driver (repro.cluster.recovery)
+    # ------------------------------------------------------------------
+
+    def host_fault(self, host_name):
+        """The first firing host-level spec for ``host_name`` on this
+        tick (or None). At most one host fault applies per host per
+        tick; the cluster fault driver decides what it means."""
+        for index, spec in enumerate(self.specs):
+            if spec.kind not in HOST_FAULT_KINDS:
+                continue
+            if not spec.matches_host(host_name):
+                continue
+            if self._roll(index, spec):
+                self._record(spec)
+                return spec
+        return None
+
+    def migration_aborted(self, vm):
+        """The firing ``migration_abort`` spec when the in-flight
+        cluster migration of ``vm`` dies mid-transfer (or None)."""
+        for index, spec in enumerate(self.specs):
+            if spec.kind != 'migration_abort':
+                continue
+            if not spec.matches_vm(vm):
+                continue
+            if self._roll(index, spec):
+                self._record(spec)
+                return spec
+        return None
+
+    def abort_point_ns(self, transfer_ns):
+        """Deterministic offset into a ``transfer_ns``-long migration at
+        which an injected abort strikes (strictly before completion)."""
+        if transfer_ns <= 1:
+            return 1
+        return self.sim.rng.uniform_ns(
+            'faults.migration_abort.point', 1, transfer_ns - 1)
 
     def summary(self):
         """Injection counts per kind (plain dict, for reports)."""

@@ -109,6 +109,61 @@ def ack_loss(pct=20):
         '%d%% of SA acks lost past the grace window' % pct)
 
 
+def host_flap(pct=15, down_ns=250 * MS):
+    """Cluster campaign: every fault-driver tick, each host has a
+    ``pct`` % chance of crashing outright; it reboots empty after
+    ``down_ns``. Orphaned VMs exercise the recovery controller."""
+    return FaultPlan(
+        'host-flap-%d' % pct,
+        [FaultSpec('host_crash', _pct(pct), down_ns=down_ns)],
+        '%d%% host-crash chance per tick, %dms reboot'
+        % (pct, down_ns // MS))
+
+
+def migration_storm(pct=40):
+    """Cluster campaign: ``pct`` % of inter-host live migrations abort
+    mid-transfer and roll back to the source (retry/backoff and the
+    per-VM circuit breaker decide what happens next)."""
+    return FaultPlan(
+        'migration-storm-%d' % pct,
+        [FaultSpec('migration_abort', _pct(pct))],
+        '%d%% of live migrations abort mid-transfer' % pct)
+
+
+def capacity_crunch(pct=8, down_ns=800 * MS):
+    """Cluster campaign: infrequent but *long* host outages, so
+    re-placement runs out of capacity and orphans end up parked until
+    a host returns."""
+    return FaultPlan(
+        'capacity-crunch-%d' % pct,
+        [FaultSpec('host_crash', _pct(pct), down_ns=down_ns)],
+        '%d%% host-crash chance per tick, %dms outage (capacity '
+        'exhaustion)' % (pct, down_ns // MS))
+
+
+def host_degrade(pct=20, down_ns=300 * MS):
+    """Cluster campaign: hosts flap between healthy and degraded; the
+    watchdog quarantines degraded hosts and re-arms on recovery."""
+    return FaultPlan(
+        'host-degrade-%d' % pct,
+        [FaultSpec('host_degrade', _pct(pct), down_ns=down_ns)],
+        '%d%% host-degrade chance per tick, %dms to recover'
+        % (pct, down_ns // MS))
+
+
+def cluster_chaos():
+    """Cluster torture campaign: crashes, degradations, migration
+    aborts, and SA-upcall loss all at once — the seeded determinism
+    gate and the sanitizer job run against this."""
+    return FaultPlan(
+        'cluster-chaos',
+        [FaultSpec('host_crash', 0.06, down_ns=300 * MS),
+         FaultSpec('host_degrade', 0.10, down_ns=250 * MS),
+         FaultSpec('migration_abort', 0.30),
+         FaultSpec('virq_drop', 0.10, virq=VIRQ_SA_UPCALL)],
+        'host crashes + degradations + migration aborts + SA loss')
+
+
 def full_chaos():
     """Everything at once, at moderate rates: the torture campaign the
     sanitizer job runs against."""
@@ -140,6 +195,11 @@ CAMPAIGNS = {
     'flaky-migrator-20': lambda: flaky_migrator(20),
     'ack-loss-20': lambda: ack_loss(20),
     'full-chaos': full_chaos,
+    'host-flap-15': lambda: host_flap(15),
+    'host-degrade-20': lambda: host_degrade(20),
+    'migration-storm-40': lambda: migration_storm(40),
+    'capacity-crunch-8': lambda: capacity_crunch(8),
+    'cluster-chaos': cluster_chaos,
 }
 
 # name-prefix -> percentage-parameterized factory.
@@ -153,6 +213,10 @@ _PARAMETRIC = {
     'probe-errors': probe_errors,
     'flaky-migrator': flaky_migrator,
     'ack-loss': ack_loss,
+    'host-flap': host_flap,
+    'host-degrade': host_degrade,
+    'migration-storm': migration_storm,
+    'capacity-crunch': capacity_crunch,
 }
 
 
@@ -160,7 +224,9 @@ def get_campaign(name):
     """Resolve one campaign name to a :class:`FaultPlan`.
 
     Exact registry names win; otherwise ``<prefix>-<pct>`` resolves
-    through the parameterized factories (``sa-loss-37``)."""
+    through the parameterized factories (``sa-loss-37``). Underscores
+    are accepted as dashes (``cluster_chaos`` == ``cluster-chaos``)."""
+    name = name.replace('_', '-')
     if name in CAMPAIGNS:
         return CAMPAIGNS[name]()
     prefix, __, suffix = name.rpartition('-')

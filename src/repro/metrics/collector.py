@@ -22,13 +22,14 @@ counter views are prefix filters over the registry rather than ad-hoc
 FAULT_COUNTER_PREFIXES = ('faults.',)
 
 #: Trace-counter prefixes that belong to the defense layers: the SA
-#: sender's retry/watchdog path, the migrator's requeue path, and the
-#: runtime sanitizer.
+#: sender's retry/watchdog path, the migrator's requeue path, the
+#: cluster fault-tolerance plane (crash recovery, parked VMs, migration
+#: rollbacks, quarantines), and the runtime sanitizer.
 DEGRADATION_COUNTER_PREFIXES = (
     'irs.sa_retries', 'irs.sa_suppressed', 'irs.sa_dup_acks',
     'irs.sa_health_', 'irs.migrator_abort', 'irs.migrator_retr',
     'irs.migrator_fail', 'irs.migrator_recover', 'irs.migrator_probe',
-    'irs.migrator_stranded', 'sanitizer.',
+    'irs.migrator_stranded', 'cluster.', 'sanitizer.',
 )
 
 

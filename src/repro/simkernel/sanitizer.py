@@ -14,6 +14,18 @@ two-level scheduler:
 * credits are conserved within the scheduler's clip band
   ``[-credit_cap, credit_cap]``.
 
+When a cluster is attached (``attach_cluster``, called by
+``Cluster.__init__``), three cluster-level invariants join the list:
+
+* a VM is resident on at most one host ("single-residency") and never
+  both resident and in-flight;
+* every host's ``reserved_vcpus`` equals the vCPUs of the in-flight
+  migrations targeting it — aborts and rollbacks must not leak
+  reservations;
+* the orphan ledger: every VM the cluster admitted is exactly one of
+  resident / in-flight / pending-recovery / parked. Host crashes must
+  not lose VMs.
+
 Violations are reported as structured :class:`Violation` records naming
 the event whose processing broke the invariant — which is what makes
 fault campaigns debuggable: the report points at the injected fault (or
@@ -79,6 +91,7 @@ class Sanitizer:
         self.interval = interval
         self.mode = mode
         self.machines = []
+        self.clusters = []
         self.violations = []
         self.checks = 0
         self._countdown = interval
@@ -95,6 +108,14 @@ class Sanitizer:
         simulator carries a sanitizer."""
         if machine not in self.machines:
             self.machines.append(machine)
+
+    def attach_cluster(self, cluster):
+        """Watch ``cluster``'s residency, reservation, and orphan
+        ledgers. Called by ``Cluster.__init__`` when the simulator
+        carries a sanitizer (host machines attach themselves through
+        :meth:`attach_machine` as usual)."""
+        if cluster not in self.clusters:
+            self.clusters.append(cluster)
 
     def uninstall(self):
         """Detach from the simulator's event loop."""
@@ -121,6 +142,8 @@ class Sanitizer:
         self._check_clock(event)
         for machine in self.machines:
             self._check_machine(machine, event)
+        for cluster in self.clusters:
+            self._check_cluster(cluster, event)
         self.sim.trace.count('sanitizer.checks')
 
     # ------------------------------------------------------------------
@@ -246,20 +269,70 @@ class Sanitizer:
                            '%s claims ready but is queued nowhere (lost '
                            'across migration)' % task.name, event)
 
+    def _check_cluster(self, cluster, event):
+        residency = {}               # vm -> [host names]
+        for host in cluster.hosts:
+            for vm in host.resident_vms:
+                residency.setdefault(vm, []).append(host.name)
+        for vm, hosts in residency.items():
+            if len(hosts) > 1:
+                self._fail('single_residency',
+                           '%s resident on %d hosts (%s)'
+                           % (vm.name, len(hosts), ', '.join(hosts)), event)
+        in_flight = cluster.migration.in_flight
+        reserved = {host: 0 for host in cluster.hosts}
+        for vm, flight in in_flight.items():
+            if vm in residency:
+                self._fail('single_residency',
+                           '%s both resident on %s and in-flight to %s'
+                           % (vm.name, residency[vm][0],
+                              flight.target.name), event)
+            if flight.target in reserved:
+                reserved[flight.target] += vm.n_vcpus
+        for host in cluster.hosts:
+            if host.reserved_vcpus != reserved[host]:
+                self._fail('no_reservation_leak',
+                           '%s reserves %d vcpus but in-flight migrations '
+                           'account for %d (abort/rollback leaked a '
+                           'reservation)'
+                           % (host.name, host.reserved_vcpus,
+                              reserved[host]), event)
+        recovery = cluster.recovery
+        parked = set(recovery.parked)
+        for vm in cluster.kernels:
+            places = ((vm in residency) + (vm in in_flight)
+                      + (vm in recovery.pending) + (vm in parked))
+            if places == 0:
+                self._fail('orphan_ledger',
+                           '%s is resident nowhere, not in flight, not '
+                           'pending recovery, and not parked (lost by a '
+                           'crash or abort)' % vm.name, event)
+            elif places > 1:
+                self._fail('orphan_ledger',
+                           '%s tracked in %d places at once (resident=%s '
+                           'in_flight=%s pending=%s parked=%s)'
+                           % (vm.name, places, vm in residency,
+                              vm in in_flight, vm in recovery.pending,
+                              vm in parked), event)
+
 
 def install_sanitizer(sim, interval=1, mode='raise', machines=()):
     """Create a :class:`Sanitizer`, hook it into ``sim``'s event loop,
     and publish it as ``sim.sanitizer`` so machines built afterwards
     attach themselves. Machines that already exist can be passed in
     ``machines``. An already-installed sanitizer is replaced (its
-    watched machines carry over). Returns the sanitizer."""
+    watched machines and clusters carry over). Returns the sanitizer."""
     machines = list(machines)
+    clusters = []
     previous = getattr(sim, 'sanitizer', None)
     if previous is not None:
         machines.extend(m for m in previous.machines if m not in machines)
+        clusters.extend(previous.clusters)
         previous.uninstall()
     sanitizer = Sanitizer(sim, interval=interval, mode=mode)
     sim.sanitizer = sanitizer
     for machine in machines:
         sanitizer.attach_machine(machine)
+    for cluster in clusters:
+        sanitizer.attach_cluster(cluster)
     return sanitizer
