@@ -1,0 +1,141 @@
+"""Perf-regression gate over the pipeline timing baseline.
+
+Compares a fresh :mod:`benchmarks.runtime_baseline` measurement (or a
+saved ``--fresh`` file) against the checked-in ``BENCH_runtimes.json``
+and exits non-zero when any figure timing regressed past the
+tolerance. The comparison is deliberately coarse — wall time on shared
+CI machines is noisy — so the default tolerance is wide and timings
+below ``--min-seconds`` (warm-cache passes measured in microseconds)
+are skipped entirely: they are dominated by scheduler jitter, not by
+the code.
+
+Not collected by pytest (no ``test_`` prefix); run directly::
+
+    PYTHONPATH=src python benchmarks/check_regression.py            # gate
+    PYTHONPATH=src python benchmarks/check_regression.py --warn-only
+    PYTHONPATH=src python benchmarks/check_regression.py \\
+        --fresh new.json --tolerance 0.25
+
+CI runs it with ``--warn-only``: the report lands in the log without a
+noisy runner failing the build; release branches can drop the flag.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), '..', 'src'))
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), '..'))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, 'BENCH_runtimes.json')
+
+#: Timings shorter than this many seconds carry no signal.
+DEFAULT_MIN_SECONDS = 0.05
+
+#: Allowed slowdown before a timing counts as a regression (0.5 = 50%).
+DEFAULT_TOLERANCE = 0.5
+
+
+def compare(baseline_figures, fresh_figures, tolerance,
+            min_seconds=DEFAULT_MIN_SECONDS):
+    """Regressions of ``fresh_figures`` against ``baseline_figures``.
+
+    Both arguments are ``{figure: {timing_key: seconds}}`` maps (the
+    ``figures`` object of ``BENCH_runtimes.json``). Returns a list of
+    ``(figure, key, baseline_s, fresh_s, ratio)`` tuples for every
+    timing where ``fresh > baseline * (1 + tolerance)``; figures or
+    keys present on only one side are ignored (new figures are not
+    regressions, removed ones have nothing to regress).
+    """
+    regressions = []
+    for figure in sorted(set(baseline_figures) & set(fresh_figures)):
+        base_entry = baseline_figures[figure]
+        fresh_entry = fresh_figures[figure]
+        for key in sorted(set(base_entry) & set(fresh_entry)):
+            base = base_entry[key]
+            fresh = fresh_entry[key]
+            if not isinstance(base, (int, float)) or base < min_seconds:
+                continue
+            if fresh > base * (1.0 + tolerance):
+                regressions.append((figure, key, base, fresh, fresh / base))
+    return regressions
+
+
+def _load_figures(path):
+    with open(path) as handle:
+        payload = json.load(handle)
+    figures = payload.get('figures')
+    if not isinstance(figures, dict):
+        raise SystemExit('%s: no "figures" object (not a '
+                         'runtime_baseline.py output?)' % path)
+    return figures
+
+
+def _measure_fresh(jobs):
+    """Run the baseline harness in-process; returns its figures map
+    without touching BENCH_runtimes.json."""
+    import runtime_baseline
+    return runtime_baseline.measure(jobs)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument('--baseline', default=DEFAULT_BASELINE,
+                        metavar='FILE',
+                        help='checked-in timing baseline '
+                             '(default: %(default)s)')
+    parser.add_argument('--fresh', metavar='FILE',
+                        help='pre-measured timings to gate; when '
+                             'omitted, runtime_baseline.py is run '
+                             'in-process for a fresh measurement')
+    parser.add_argument('--tolerance', type=float,
+                        default=DEFAULT_TOLERANCE, metavar='FRACTION',
+                        help='allowed slowdown before failing, as a '
+                             'fraction of the baseline (default: '
+                             '%(default)s = +50%%)')
+    parser.add_argument('--min-seconds', type=float, dest='min_seconds',
+                        default=DEFAULT_MIN_SECONDS, metavar='SECONDS',
+                        help='skip baseline timings shorter than this '
+                             '(noise floor; default: %(default)s)')
+    parser.add_argument('--jobs', type=int,
+                        default=min(4, os.cpu_count() or 1),
+                        help='worker count for the fresh measurement')
+    parser.add_argument('--warn-only', action='store_true',
+                        dest='warn_only',
+                        help='report regressions but exit 0 (CI mode)')
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error('--tolerance must be >= 0, got %g' % args.tolerance)
+
+    baseline = _load_figures(args.baseline)
+    if args.fresh:
+        fresh = _load_figures(args.fresh)
+    else:
+        print('measuring fresh timings (jobs=%d)...' % args.jobs)
+        fresh = _measure_fresh(args.jobs)
+
+    regressions = compare(baseline, fresh, args.tolerance,
+                          min_seconds=args.min_seconds)
+    checked = sum(
+        1 for figure in set(baseline) & set(fresh)
+        for key in set(baseline[figure]) & set(fresh[figure])
+        if isinstance(baseline[figure][key], (int, float))
+        and baseline[figure][key] >= args.min_seconds)
+    if not regressions:
+        print('perf gate: OK — %d timings within +%.0f%% of baseline'
+              % (checked, args.tolerance * 100))
+        return 0
+    print('perf gate: %d of %d timings regressed past +%.0f%%:'
+          % (len(regressions), checked, args.tolerance * 100))
+    for figure, key, base, fresh_s, ratio in regressions:
+        print('  %-24s %-14s %.4fs -> %.4fs (%.2fx)'
+              % (figure, key, base, fresh_s, ratio))
+    if args.warn_only:
+        print('(--warn-only: not failing the build)')
+        return 0
+    return 1
+
+
+if __name__ == '__main__':
+    raise SystemExit(main())

@@ -12,11 +12,13 @@ Two guarantees the instrumentation must keep:
   under 2% of the run's wall time, i.e. of its event throughput.
 """
 
+import json
 import time
 
 import pytest
 
-from repro.experiments.harness import run_parallel
+from repro.cluster.scenario import run_consolidation
+from repro.experiments.harness import ObservabilityConfig, run_parallel
 from repro.experiments.topology import InterferenceSpec
 from repro.obs.spans import SpanRecorder
 
@@ -73,4 +75,51 @@ def test_disabled_probe_overhead_under_two_percent():
     assert fraction < 0.02, (
         'disabled probes cost %.3f%% of the run (%d probe executions, '
         '%.0f ns each, %.2fs wall)'
+        % (fraction * 100.0, probe_calls, per_call * 1e9, wall))
+
+
+# ----------------------------------------------------------------------
+# Cluster probes: same two guarantees for the cluster control plane.
+# ----------------------------------------------------------------------
+
+CLUSTER_KWARGS = dict(strategy='irs', placement='first_fit', seed=0,
+                      faults='cluster-chaos')
+
+#: Probe call sites per control-plane event: the span/instant probe
+#: itself, the event-log append, the scoped-metric update, and slack
+#: for paired begin/end migration spans.
+CLUSTER_PROBES_PER_EVENT = 4
+
+
+def test_cluster_observability_does_not_perturb_the_run():
+    base = run_consolidation(**CLUSTER_KWARGS)
+    observed = run_consolidation(observe=ObservabilityConfig(),
+                                 **CLUSTER_KWARGS)
+    assert (json.dumps(base.summary(), sort_keys=True)
+            == json.dumps(observed.summary(), sort_keys=True))
+
+
+def test_cluster_disabled_probe_overhead_under_two_percent():
+    started = time.perf_counter()
+    result = run_consolidation(**CLUSTER_KWARGS)
+    wall = time.perf_counter() - started
+
+    spans = SpanRecorder(enabled=False)
+    calls = 1_000_000
+    t0 = time.perf_counter()
+    for __ in range(calls):
+        if spans.enabled:
+            spans.begin(0, 'p', 't')
+    per_call = (time.perf_counter() - t0) / calls
+
+    # Every control-plane transition the chaos run produced is a
+    # probe-site execution (the health event log records them all).
+    probe_calls = CLUSTER_PROBES_PER_EVENT * len(result.events)
+    assert probe_calls > 0, 'chaos run exercised no cluster probe sites'
+
+    overhead = probe_calls * per_call
+    fraction = overhead / wall
+    assert fraction < 0.02, (
+        'disabled cluster probes cost %.3f%% of the run (%d probe '
+        'executions, %.0f ns each, %.2fs wall)'
         % (fraction * 100.0, probe_calls, per_call * 1e9, wall))

@@ -12,9 +12,13 @@ monitor tick, the daemon tick, and every migration completion are
 ordinary events on the one queue.
 """
 
+import itertools
+
 from ..faults import HOST_FAULT_KINDS
 from ..guestos import GuestKernel
 from ..hypervisor import VM
+from ..obs import eventlog
+from ..obs.eventlog import EventLog
 from ..simkernel.units import MS
 from ..workloads import HogWorkload, OpenLoopServerWorkload
 from .admission import AdmissionController
@@ -72,6 +76,12 @@ class Cluster:
             self.hosts.append(host)
         self.policy = make_policy(policy)
         self.admission = AdmissionController()
+        # Observability plane: the structured health event log (always
+        # on — it records low-rate control-plane decisions, like the
+        # admission ledger) and the allocator of the flow ids that
+        # stitch cross-host trace spans together.
+        self.events = EventLog()
+        self.flow_ids = itertools.count(1)
         # Fault plane: one injector shared by every host machine (the
         # vIRQ/runstate/migrator hooks) and by the cluster-level driver
         # (host faults, migration aborts). None = reliable everything.
@@ -81,6 +91,8 @@ class Cluster:
                 host.machine.attach_fault_injector(self.injector)
         self.migration = LiveMigrationEngine(sim, cost_model=cost_model,
                                              injector=self.injector)
+        self.migration.events = self.events
+        self.migration.flow_ids = self.flow_ids
         self.monitor_window_ns = monitor_window_ns
         self.daemon = rebalance
         if self.daemon is not None:
@@ -99,6 +111,11 @@ class Cluster:
         self._names = set()          # every VM name ever admitted
         if sim.sanitizer is not None:
             sim.sanitizer.attach_cluster(self)
+
+    def _event(self, kind, **detail):
+        """Append one entry to the health event log at the current
+        simulated time."""
+        self.events.append(self.sim.now, kind, **detail)
 
     def start(self):
         """Boot every host and arm the periodic timers."""
@@ -130,14 +147,24 @@ class Cluster:
         if request.name in self._names:
             self.sim.trace.count('cluster.duplicate_submits')
             self.admission.reject(request, self.sim)
+            self._event(eventlog.EVENT_REJECT, vm=request.name,
+                        reason='duplicate')
             return None
         candidates = self.admission.admissible_hosts(self.hosts, request)
         if not candidates:
             self.admission.reject(request, self.sim)
+            self._event(eventlog.EVENT_REJECT, vm=request.name,
+                        reason='capacity')
             return None
         host = self.policy.choose(candidates, request)
         self.admission.admit(request, host)
         self.placements.append((request.name, host.name))
+        self._event(eventlog.EVENT_PLACE, vm=request.name, host=host.name,
+                    policy=self.policy.name,
+                    scores=self.policy.scores(candidates, request))
+        self.sim.trace.spans.instant(
+            self.sim.now, 'vm.place', 'cluster/%s/placement' % host.name,
+            vm=request.name)
 
         vm = VM(request.name, n_vcpus=request.n_vcpus, sim=self.sim,
                 weight=request.weight)
@@ -178,6 +205,8 @@ class Cluster:
         if host.state == HOST_FAILED:
             return
         self.sim.trace.count('cluster.host_crashes')
+        self._event(eventlog.EVENT_HOST_CRASH, host=host.name,
+                    down_ns=down_ns)
         # Order matters: rolling back inbound flights releases the
         # doomed host's reservations while its state is still sane.
         self.migration.abort_targeting(host)
@@ -192,6 +221,8 @@ class Cluster:
         if host.state != 'up':
             return
         self.sim.trace.count('cluster.host_degrades')
+        self._event(eventlog.EVENT_HOST_DEGRADE, host=host.name,
+                    down_ns=down_ns)
         host.degrade()
         self.sim.after(down_ns, self.recovery.on_host_recovered, host)
 

@@ -67,6 +67,14 @@ class Host:
         self.machine = Machine(sim, n_pcpus=spec.n_pcpus)
         self.irs_config = irs_config or IRSConfig()
         self.machine.attach_strategies(self._descriptor())
+        # Per-host metric scope: everything this host (and its monitor)
+        # records lives under ``host.<name>.`` in the shared registry,
+        # carrying a ``host`` label for the Prometheus exposition.
+        # Distinct prefixes make cross-host contamination impossible by
+        # construction — the fix for the global-counter limitation the
+        # profiles module used to work around.
+        self.metrics = sim.trace.metrics.scoped('host.%s.' % spec.name,
+                                                host=spec.name)
         self.resident_vms = []
         # vCPUs held for in-flight migrations targeting this host.
         self.reserved_vcpus = 0
@@ -130,21 +138,34 @@ class Host:
             self.evict_vm(vm)
         self.state = HOST_FAILED
         self.crashes += 1
+        self.metrics.counter('crashes').inc()
+        self._health_mark('host.crash', orphans=len(orphans))
         return orphans
 
     def degrade(self):
         """Mark this host unhealthy; the watchdog quarantines it."""
         self.state = HOST_DEGRADED
+        self.metrics.counter('degrades').inc()
+        self._health_mark('host.degrade')
 
     def recover(self):
         """Return the host to service (empty after a crash; still
         populated after a degradation). Monitor history is stale after
         an outage, so profiles restart from a fresh window."""
         self.state = HOST_UP
+        self.metrics.counter('recoveries').inc()
+        self._health_mark('host.recover')
         if self.monitor is not None:
             self.monitor.profiles = {}
             for vm in self.resident_vms:
                 self.monitor.track(vm)
+
+    def _health_mark(self, phase, **detail):
+        """Health-state transitions as instants on this host's trace
+        track (one attribute test when spans are disabled)."""
+        self.sim.trace.spans.instant(self.sim.now, phase,
+                                     'cluster/%s/health' % self.name,
+                                     **detail)
 
     # ------------------------------------------------------------------
     # VM lifecycle
@@ -161,6 +182,7 @@ class Host:
         """Register a freshly created VM on this host's machine."""
         self.machine.add_vm(vm, pinning=self.pinning_for(vm.n_vcpus))
         self.resident_vms.append(vm)
+        self.metrics.counter('placements').inc()
         if self.monitor is not None:
             self.monitor.track(vm)
 
@@ -183,6 +205,7 @@ class Host:
             self.monitor.forget(vm)
         self.machine.detach_vm(vm)
         self.resident_vms.remove(vm)
+        self.metrics.counter('evictions').inc()
 
     def adopt_vm(self, vm):
         """Live-migration resume: accept a detached VM, repoint its
@@ -190,6 +213,7 @@ class Host:
         guest work."""
         self.machine.adopt_vm(vm, pinning=self.pinning_for(vm.n_vcpus))
         self.resident_vms.append(vm)
+        self.metrics.counter('adoptions').inc()
         kernel = vm.guest
         if kernel is not None:
             # The kernel captured the source machine (and its hypercall

@@ -15,6 +15,7 @@ the blackout try to wake OFFLINE vCPUs and no-op; the backlog drains at
 resume, which is exactly the downtime cost the figures measure.
 """
 
+from ..obs import eventlog
 from ..simkernel.units import MS, SEC
 
 
@@ -90,18 +91,22 @@ class MigrationRecord:
 
 class _Flight:
     """Book-keeping for one in-flight migration: the ledger record,
-    both endpoints, and the cancellable events that decide its fate."""
+    both endpoints, the cancellable events that decide its fate, and
+    the observability handles (the source-host trace span plus the
+    flow id that stitches departure to arrival across host tracks)."""
 
     __slots__ = ('record', 'source', 'target', 'resume_event',
-                 'abort_event')
+                 'abort_event', 'flow_id', 'span')
 
     def __init__(self, record, source, target, resume_event,
-                 abort_event=None):
+                 abort_event=None, flow_id=None, span=None):
         self.record = record
         self.source = source
         self.target = target
         self.resume_event = resume_event
         self.abort_event = abort_event
+        self.flow_id = flow_id
+        self.span = span
 
 
 class LiveMigrationEngine:
@@ -138,6 +143,10 @@ class LiveMigrationEngine:
         # Rollback fallback when the source died too: the recovery
         # controller's re-place-or-park path (set by the cluster).
         self.on_orphan = None
+        # Observability plane, shared by the cluster: the health event
+        # log and the flow-id allocator (None = standalone engine).
+        self.events = None
+        self.flow_ids = None
         self.records = []
         self.in_flight = {}          # vm -> _Flight
         # vm -> cumulative run_ns at placement / last resume; the delta
@@ -150,6 +159,16 @@ class LiveMigrationEngine:
         """Checkpoint a VM's run counters at (re)placement so later
         migrations only pay for CPU burned since."""
         self._run_checkpoint[vm] = self._run_ns(vm)
+
+    def _event(self, kind, **detail):
+        """Append to the shared health event log (no-op standalone)."""
+        if self.events is not None:
+            self.events.append(self.sim.now, kind, **detail)
+
+    @staticmethod
+    def _track(host, vm):
+        """Per-VM migration trace track on ``host``'s process group."""
+        return 'cluster/%s/mig:%s' % (host.name, vm.name)
 
     def _run_ns(self, vm):
         now = self.sim.now
@@ -170,12 +189,19 @@ class LiveMigrationEngine:
             return False
         return True
 
-    def _record_failure(self, vm):
+    def _record_failure(self, vm, host=None):
         count = self._failures.get(vm, 0) + 1
         self._failures[vm] = count
         if count >= self.breaker_threshold:
             self._breaker_until[vm] = self.sim.now + self.breaker_reset_ns
             self.sim.trace.count('cluster.migration_breaker_trips')
+            self._event(eventlog.EVENT_BREAKER_TRIP, vm=vm.name,
+                        failures=count)
+            if host is not None:
+                self.sim.trace.spans.instant(
+                    self.sim.now, 'migration.breaker_trip',
+                    'cluster/%s/health' % host.name, vm=vm.name,
+                    failures=count)
         return count
 
     # ------------------------------------------------------------------
@@ -205,10 +231,19 @@ class LiveMigrationEngine:
         source.evict_vm(vm)
         target.reserved_vcpus += vm.n_vcpus
         resume = self.sim.after(transfer, self._resume, vm)
-        flight = _Flight(record, source, target, resume)
+        flow_id = next(self.flow_ids) if self.flow_ids is not None else None
+        span = self.sim.trace.spans.begin(
+            self.sim.now, 'cluster.migrate', self._track(source, vm),
+            flow='start', flow_id=flow_id, vm=vm.name, target=target.name,
+            reason=reason)
+        flight = _Flight(record, source, target, resume, flow_id=flow_id,
+                         span=span)
         self.in_flight[vm] = flight
         self.records.append(record)
         self.sim.trace.count('cluster.migrations')
+        self._event(eventlog.EVENT_MIGRATION_START, vm=vm.name,
+                    source=source.name, target=target.name, reason=reason,
+                    transfer_ns=transfer, flow=flow_id)
         # The fault plane decides *at departure* whether this transfer
         # dies mid-flight (one roll per migration, deterministic).
         if (self.injector is not None
@@ -232,6 +267,18 @@ class LiveMigrationEngine:
         self._failures.pop(vm, None)
         self._breaker_until.pop(vm, None)
         self.sim.trace.count('cluster.migrations_done')
+        spans = self.sim.trace.spans
+        spans.end(self.sim.now, flight.span, outcome='done')
+        # The arrival instant carries the flow *end*: Perfetto draws
+        # the arrow from the source-host transfer slice to this point
+        # on the target host's track.
+        spans.instant(self.sim.now, 'cluster.migrate_in',
+                      self._track(target, vm), flow='end',
+                      flow_id=flight.flow_id, vm=vm.name,
+                      source=flight.source.name)
+        self._event(eventlog.EVENT_MIGRATION_DONE, vm=vm.name,
+                    source=flight.source.name, target=target.name,
+                    flow=flight.flow_id)
 
     # ------------------------------------------------------------------
     # Abort / rollback
@@ -257,13 +304,19 @@ class LiveMigrationEngine:
         flight.record.aborted_ns = self.sim.now
         flight.record.abort_reason = reason
         self.sim.trace.count('cluster.migration_aborts')
-        failures = self._record_failure(vm)
+        self.sim.trace.spans.end(self.sim.now, flight.span,
+                                 outcome='abort:%s' % reason)
+        failures = self._record_failure(vm, host=flight.source)
 
         from .host import HOST_FAILED
         if flight.source.state == HOST_FAILED:
             # Nowhere to roll back to: the source died while the VM was
             # in flight. The recovery controller re-places or parks it.
             self.sim.trace.count('cluster.migration_orphans')
+            self._event(eventlog.EVENT_MIGRATION_ABORT, vm=vm.name,
+                        source=flight.source.name,
+                        target=flight.target.name, reason=reason,
+                        rollback=False, flow=flight.flow_id)
             if self.on_orphan is not None:
                 self.on_orphan(vm)
             return True
@@ -271,6 +324,15 @@ class LiveMigrationEngine:
         flight.source.adopt_vm(vm)
         self._run_checkpoint[vm] = self._run_ns(vm)
         self.sim.trace.count('cluster.migration_rollbacks')
+        self._event(eventlog.EVENT_MIGRATION_ABORT, vm=vm.name,
+                    source=flight.source.name, target=flight.target.name,
+                    reason=reason, rollback=True, flow=flight.flow_id)
+        # Rollback closes the flow where it started: the arrow returns
+        # to the source host's track.
+        self.sim.trace.spans.instant(
+            self.sim.now, 'cluster.migrate_rollback',
+            self._track(flight.source, vm), flow='end',
+            flow_id=flight.flow_id, vm=vm.name, reason=reason)
 
         if retry and not self.breaker_open(vm):
             shift = min(failures - 1, self.max_retry_backoff_shift)

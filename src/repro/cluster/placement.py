@@ -20,7 +20,8 @@ same choice, every run.
 
 
 class PlacementPolicy:
-    """Base class; subclasses implement :meth:`choose`."""
+    """Base class; subclasses implement :meth:`choose` and
+    :meth:`score`."""
 
     name = None
 
@@ -28,6 +29,17 @@ class PlacementPolicy:
         """Pick one host from ``candidates`` (non-empty, admission
         filtered, in host-index order) for ``request``."""
         raise NotImplementedError
+
+    def score(self, host, request):
+        """This policy's ranking value for ``host`` (lower = better).
+        Purely informational for policies that do not rank."""
+        raise NotImplementedError
+
+    def scores(self, candidates, request):
+        """``{host-name: score}`` for every candidate — the evidence
+        the health event log attaches to each placement decision."""
+        return {host.name: round(self.score(host, request), 6)
+                for host in candidates}
 
     def __repr__(self):
         return '<PlacementPolicy %s>' % self.name
@@ -41,11 +53,18 @@ class FirstFitPolicy(PlacementPolicy):
     def choose(self, candidates, request):
         return candidates[0]
 
+    def score(self, host, request):
+        # First-fit ranks by position alone; the index is the score.
+        return float(host.index)
+
 
 class LeastLoadedPolicy(PlacementPolicy):
     """The host with the lowest committed-vCPU ratio."""
 
     name = 'least_loaded'
+
+    def score(self, host, request):
+        return host.used_vcpus / host.spec.n_pcpus
 
     def choose(self, candidates, request):
         return min(candidates,

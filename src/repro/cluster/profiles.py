@@ -1,12 +1,18 @@
 """Per-VM interference profiles and the per-host monitor.
 
 The placement policies and the rebalance daemon need *per-host*
-signals, but the simulator's tracer counters are global to the
+signals, and the simulator's tracer counters are global to the
 simulation — every host shares one ``hv.preemptions`` stream. The
 monitor therefore reads the per-object counters the substrate already
 keeps (vCPU runstate accounting, per-vCPU involuntary-preemption and
 SA-offer counts) and differentiates them over a fixed sampling window,
 yielding one :class:`VmInterferenceProfile` per resident VM per window.
+
+Each sample also publishes the host's aggregate pressures into the
+host's *own* metric scope (``Host.metrics``, prefix ``host.<name>.``):
+two hosts can never write each other's gauges, so per-host dashboards
+and the Prometheus exposition read clean, uncontaminated streams — the
+per-host counter isolation the global tracer could not provide.
 
 Determinism: sampling happens on the cluster's monitor timer (one sim
 event), snapshots are plain integer reads, and VMs are visited in
@@ -116,6 +122,13 @@ class HostInterferenceMonitor:
                 sa_per_sec=(counters[3] - baseline[3]) / seconds)
         self.profiles = profiles
         self.windows += 1
+        # Publish the aggregate signals into the host's isolated metric
+        # scope (its prefix guarantees no cross-host contamination).
+        metrics = self.host.metrics
+        metrics.counter('monitor_windows').inc()
+        metrics.gauge('steal_pressure').set(round(self.steal_pressure, 6))
+        metrics.gauge('run_pressure').set(round(self.run_pressure, 6))
+        metrics.gauge('resident_vms').set(len(self.host.resident_vms))
 
     # ------------------------------------------------------------------
     # Aggregate scores

@@ -26,6 +26,7 @@ resident-on-one-host, in-flight-migration, pending-recovery, or
 parked.
 """
 
+from ..obs import eventlog
 from ..simkernel.units import MS
 
 
@@ -49,6 +50,10 @@ class RecoveryController:
         self.parked = []             # VMs with nowhere to go, in order
         self.replaced = 0            # orphans successfully re-homed
         self.parks = 0               # park transitions (a VM can repeat)
+        self._flows = {}             # vm -> open recovery flow id
+
+    def _event(self, kind, **detail):
+        self.cluster.events.append(self.sim.now, kind, **detail)
 
     # ------------------------------------------------------------------
     # Crash / recovery entry points (called by the cluster)
@@ -57,21 +62,39 @@ class RecoveryController:
     def on_host_crash(self, host, orphans):
         """Start re-placing every VM ``host`` dropped."""
         for vm in orphans:
-            self.recover_vm(vm)
+            self.recover_vm(vm, cause='host_crash', host=host)
 
     def on_host_recovered(self, host):
         """``host`` is back in service; give every parked VM a fresh
         chance (new attempt budget — capacity just appeared)."""
         host.recover()
         self.sim.trace.count('cluster.host_recoveries')
+        self._event(eventlog.EVENT_HOST_RECOVER, host=host.name)
         for vm in list(self.parked):
             self.parked.remove(vm)
             self.sim.trace.count('cluster.unparked')
-            self.recover_vm(vm)
+            self._event(eventlog.EVENT_UNPARKED, vm=vm.name,
+                        trigger=host.name)
+            self.recover_vm(vm, cause='unpark')
 
-    def recover_vm(self, vm):
-        """Begin a recovery episode for a detached VM (crash orphan or
-        a migration rollback whose source died)."""
+    def recover_vm(self, vm, cause='orphan', host=None):
+        """Begin a recovery episode for a detached VM (crash orphan, a
+        migration rollback whose source died, or an unparked VM).
+
+        When the losing ``host`` is known (the crash path) the episode
+        opens a trace flow there, so the eventual re-placement draws an
+        arrow from the dead host's track to the adopting host's."""
+        flow_id = None
+        if host is not None and self.cluster.flow_ids is not None:
+            flow_id = next(self.cluster.flow_ids)
+            self.sim.trace.spans.instant(
+                self.sim.now, 'vm.orphaned',
+                'cluster/%s/recovery' % host.name, flow='start',
+                flow_id=flow_id, vm=vm.name, cause=cause)
+        self._flows[vm] = flow_id
+        self._event(eventlog.EVENT_ORPHANED, vm=vm.name, cause=cause,
+                    host=host.name if host is not None else None,
+                    flow=flow_id)
         self.pending[vm] = 0
         self._try_place(vm)
 
@@ -96,12 +119,23 @@ class RecoveryController:
             self.cluster.migration.note_placed(vm)
             self.replaced += 1
             self.sim.trace.count('cluster.recoveries')
+            flow_id = self._flows.pop(vm, None)
+            detail = {'vm': vm.name, 'host': host.name}
+            if flow_id is not None:
+                detail.update(flow='end', flow_id=flow_id)
+            self.sim.trace.spans.instant(
+                self.sim.now, 'vm.recovered',
+                'cluster/%s/recovery' % host.name, **detail)
+            self._event(eventlog.EVENT_RECOVERED, vm=vm.name,
+                        host=host.name, attempts=attempts, flow=flow_id)
             return
         if attempts >= self.max_attempts:
             del self.pending[vm]
             self.parked.append(vm)
             self.parks += 1
             self.sim.trace.count('cluster.parked')
+            self._event(eventlog.EVENT_PARKED, vm=vm.name,
+                        attempts=attempts, flow=self._flows.pop(vm, None))
             return
         self.sim.trace.count('cluster.recovery_retries')
         backoff = self.backoff_ns << (attempts - 1)
@@ -134,10 +168,21 @@ class HostWatchdog:
                 host.quarantined = True
                 self.quarantines += 1
                 self.sim.trace.count('cluster.quarantines')
+                self.cluster.events.append(
+                    self.sim.now, eventlog.EVENT_QUARANTINE,
+                    host=host.name)
+                self.sim.trace.spans.instant(
+                    self.sim.now, 'host.quarantine',
+                    'cluster/%s/health' % host.name)
             elif host.state == 'up' and host.quarantined:
                 host.quarantined = False
                 self.rearms += 1
                 self.sim.trace.count('cluster.quarantine_rearms')
+                self.cluster.events.append(
+                    self.sim.now, eventlog.EVENT_REARM, host=host.name)
+                self.sim.trace.spans.instant(
+                    self.sim.now, 'host.rearm',
+                    'cluster/%s/health' % host.name)
         self.sim.after(self.check_period_ns, self._check)
 
 

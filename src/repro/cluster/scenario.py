@@ -14,6 +14,8 @@ a good placement stays quiet.
 
 from ..faults import FaultPlan, parse_fault_plan
 from ..metrics import LatencyRecorder
+from ..obs.exporters import write_chrome_trace
+from ..obs.exposition import write_exposition
 from ..simkernel import Simulator
 from ..simkernel.units import MS, SEC
 from .cluster import Cluster, RebalanceDaemon, VmRequest
@@ -32,7 +34,8 @@ class ClusterRunResult:
                  latency_summary, migrations, rejections, dropped,
                  placements, rebalance_trips, faults=None, counters=None,
                  recovered=0, parked=0, aborted_migrations=0,
-                 host_crashes=0):
+                 host_crashes=0, events=None, event_counts=None,
+                 span_drops=0, trace_drops=0):
         self.strategy = strategy
         self.placement = placement
         self.seed = seed
@@ -49,6 +52,13 @@ class ClusterRunResult:
         self.parked = parked
         self.aborted_migrations = aborted_migrations
         self.host_crashes = host_crashes
+        # Health event log (JSON-simple dicts, sim order) plus its
+        # per-kind tally; ring-drop counters close the loop so reports
+        # can warn when a window was truncated.
+        self.events = list(events or [])
+        self.event_counts = dict(event_counts or {})
+        self.span_drops = span_drops
+        self.trace_drops = trace_drops
 
     def summary(self):
         """JSON-simple dict (what the pipeline caches)."""
@@ -69,6 +79,10 @@ class ClusterRunResult:
             'parked': self.parked,
             'aborted_migrations': self.aborted_migrations,
             'host_crashes': self.host_crashes,
+            'events': self.events,
+            'event_counts': self.event_counts,
+            'span_drops': self.span_drops,
+            'trace_drops': self.trace_drops,
         }
 
 
@@ -78,7 +92,7 @@ def run_consolidation(strategy='vanilla', placement='first_fit', seed=0,
                       server_vcpus=2, arrivals_per_sec=400,
                       service_ns=2 * MS, rebalance=True,
                       warmup_ns=600 * MS, measure_ns=1 * SEC,
-                      faults=None):
+                      faults=None, observe=None):
     """Run one consolidation experiment and return a
     :class:`ClusterRunResult`.
 
@@ -89,9 +103,26 @@ def run_consolidation(strategy='vanilla', placement='first_fit', seed=0,
     name (see :data:`repro.faults.CAMPAIGNS`), a
     :class:`~repro.faults.FaultPlan`, or ``None`` for a reliable
     cluster.
+
+    ``observe`` (an :class:`~repro.experiments.harness.
+    ObservabilityConfig`, True for defaults, or None for the
+    CLI-installed default) enables the cluster span probes and, at the
+    end of the run, exports the Perfetto trace (``trace_out``), the
+    health event log as JSONL (``events_out``), and the Prometheus
+    text exposition (``metrics_out``). The health event log itself is
+    always recorded — it is a low-rate control-plane ledger, like the
+    admission ledger — only the exports and the span probes are opt-in.
     """
     if strategy not in HOST_STRATEGIES:
         raise ValueError('unknown strategy %r' % strategy)
+    # Lazy import: repro.experiments imports this module (through the
+    # executor); the harness never imports the cluster layer at import
+    # time, but going through it here keeps that the only direction.
+    from ..experiments.harness import (ObservabilityConfig,
+                                       default_observability)
+    obs_config = observe if observe is not None else default_observability()
+    if obs_config is True:
+        obs_config = ObservabilityConfig()
     fault_plan = None
     fault_name = None
     if faults is not None:
@@ -101,6 +132,8 @@ def run_consolidation(strategy='vanilla', placement='first_fit', seed=0,
             fault_plan = parse_fault_plan(faults)
         fault_name = fault_plan.name if fault_plan is not None else None
     sim = Simulator(seed=seed)
+    if obs_config is not None and obs_config.spans:
+        sim.trace.spans.enabled = True
     specs = [HostSpec('host%d' % i, n_pcpus=host_pcpus, strategy=strategy,
                       capacity_vcpus=capacity_vcpus)
              for i in range(n_hosts)]
@@ -142,6 +175,14 @@ def run_consolidation(strategy='vanilla', placement='first_fit', seed=0,
     counters = {name: count
                 for name, count in sorted(sim.trace.counters.items())
                 if name.startswith(CLUSTER_COUNTER_PREFIXES)}
+    if obs_config is not None:
+        if obs_config.trace_out:
+            write_chrome_trace(obs_config.trace_out,
+                               spans=sim.trace.spans, now_ns=sim.now)
+        if obs_config.events_out:
+            cluster.events.write_jsonl(obs_config.events_out)
+        if obs_config.metrics_out:
+            write_exposition(obs_config.metrics_out, sim.trace.metrics)
     return ClusterRunResult(
         strategy=strategy,
         placement=placement,
@@ -159,4 +200,8 @@ def run_consolidation(strategy='vanilla', placement='first_fit', seed=0,
         parked=len(cluster.recovery.parked),
         aborted_migrations=len(cluster.migration.aborted),
         host_crashes=sum(host.crashes for host in cluster.hosts),
+        events=cluster.events.to_dicts(),
+        event_counts=cluster.events.counts(),
+        span_drops=sim.trace.spans.dropped,
+        trace_drops=sim.trace.counters.get('trace.dropped', 0),
     )

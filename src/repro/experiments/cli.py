@@ -44,6 +44,8 @@ def _run_one(name, quick, stream, strategy=None):
     result = figure_fn(**kwargs)
     elapsed = time.time() - started
     print(result.table(), file=stream)
+    for warning in getattr(result, 'warnings', ()):
+        print(warning, file=stream)
     print('(%s: %d rows in %.1fs wall)' % (name, len(result.rows), elapsed),
           file=stream)
     print(file=stream)
@@ -82,11 +84,15 @@ def _resolve_jobs(args, parser):
         return 1
     if jobs < 1:
         parser.error('%s must be >= 1, got %d' % (source, jobs))
-    if jobs > 1 and args.trace_out:
-        parser.error(
-            '%s=%d cannot be combined with --trace-out: trace rings live '
-            'in each worker process, so the exported file would be empty; '
-            'rerun serially (--jobs 1) to capture a trace' % (source, jobs))
+    for flag, value in (('--trace-out', args.trace_out),
+                        ('--events-out', args.events_out),
+                        ('--metrics-out', args.metrics_out)):
+        if jobs > 1 and value:
+            parser.error(
+                '%s=%d cannot be combined with %s: observability rings '
+                'live in each worker process, so the exported file would '
+                'be empty; rerun serially (--jobs 1) to capture it'
+                % (source, jobs, flag))
     return jobs
 
 
@@ -158,6 +164,19 @@ def main(argv=None):
                              'probes and timeline sampling. The file is '
                              'rewritten per run, so for multi-run figures '
                              'the last run wins. Serial only (--jobs 1)')
+    parser.add_argument('--events-out', metavar='FILE', dest='events_out',
+                        help='export the cluster health event log as '
+                             'JSONL to FILE (cluster figures only; the '
+                             'cluster-health report can be rebuilt from '
+                             'this file alone). Rewritten per run, so '
+                             'for multi-run figures the last run wins. '
+                             'Serial only (--jobs 1)')
+    parser.add_argument('--metrics-out', metavar='FILE', dest='metrics_out',
+                        help='export a Prometheus-style text exposition '
+                             'snapshot of the run metrics to FILE. '
+                             'Rewritten per run, so for multi-run '
+                             'figures the last run wins. Serial only '
+                             '(--jobs 1)')
     parser.add_argument('--strategy', metavar='NAME',
                         help='scheduling strategy for drivers that take '
                              "one (e.g. sa-latency): %s"
@@ -183,16 +202,24 @@ def main(argv=None):
         except ValueError as exc:
             parser.error('%s; --faults=list shows the registry' % exc)
     jobs = _resolve_jobs(args, parser)
-    if args.trace_out:
+    exports = (('--trace-out', args.trace_out),
+               ('--events-out', args.events_out),
+               ('--metrics-out', args.metrics_out))
+    for flag, path in exports:
+        if not path:
+            continue
         try:
             # Fail fast with a clean parser error (permissions, missing
             # directory) instead of a traceback after minutes of runs.
-            with open(args.trace_out, 'a'):
+            with open(path, 'a'):
                 pass
         except OSError as exc:
-            parser.error('cannot write --trace-out file: %s' % exc)
+            parser.error('cannot write %s file: %s' % (flag, exc))
+    if any(path for __, path in exports):
         set_default_observability(ObservabilityConfig(
-            trace_out=args.trace_out))
+            trace_out=args.trace_out,
+            events_out=args.events_out,
+            metrics_out=args.metrics_out))
     if args.strategy is not None:
         known = ALL_STRATEGIES + EXTENSION_STRATEGIES
         if args.strategy not in known:

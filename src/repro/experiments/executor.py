@@ -23,11 +23,17 @@ spec -> same outcome) is what makes all of that invisible to callers.
 
 import concurrent.futures
 import os
+import time
 
 from ..core import IRSConfig
 from ..faults import parse_fault_plan
+from ..obs import eventlog
 from ..workloads import get_profile, profile_variant
-from .cache import METRICS, ResultCache  # noqa: F401  (ResultCache re-export)
+from .cache import (  # noqa: F401  (ResultCache re-export)
+    METRICS,
+    PROFILE_LOG,
+    ResultCache,
+)
 from .harness import (
     ObservabilityConfig,
     default_fault_plan,
@@ -93,7 +99,8 @@ def execute_spec(spec):
             hog_vcpus=spec.hog_vcpus, n_server_vms=spec.n_server_vms,
             server_vcpus=spec.fg_vcpus,
             arrivals_per_sec=spec.arrivals_per_sec,
-            rebalance=spec.rebalance, faults=spec.faults, **kwargs)
+            rebalance=spec.rebalance, faults=spec.faults,
+            observe=observe, **kwargs)
         return RunOutcome(spec, throughput=result.throughput,
                           latency_summary=result.latency_summary,
                           cluster=result.summary())
@@ -158,10 +165,18 @@ class SerialExecutor:
         outcomes = []
         for spec in specs:
             METRICS.counter('executor.dispatched').inc()
+            started = time.monotonic_ns()
+            PROFILE_LOG.append(started, eventlog.EVENT_SPEC_DISPATCH,
+                               spec=spec.describe(), jobs=1)
             try:
                 outcomes.append(execute_spec(spec))
             except Exception as exc:
                 raise RunError(spec, exc) from exc
+            finished = time.monotonic_ns()
+            wall_ns = finished - started
+            METRICS.histogram('executor.run_wall_ns').record(wall_ns)
+            PROFILE_LOG.append(finished, eventlog.EVENT_SPEC_DONE,
+                               spec=spec.describe(), wall_ns=wall_ns)
         return outcomes
 
     def __repr__(self):
@@ -204,7 +219,7 @@ class ParallelRunner:
         workers = max(1, min(self.jobs, len(specs)))
         pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
         try:
-            futures = self._submit(pool, specs)
+            futures, submitted = self._submit(pool, specs)
             outcomes = [None] * len(specs)
             retried = set()
             i = 0
@@ -222,17 +237,28 @@ class ParallelRunner:
                             % self.wall_timeout)) from exc
                     retried.add(i)
                     METRICS.counter('executor.timeout_retries').inc()
+                    PROFILE_LOG.append(time.monotonic_ns(),
+                                       eventlog.EVENT_SPEC_RETRY,
+                                       spec=spec.describe())
                     # Every uncollected spec's worker died with the old
                     # pool; resubmit them all (determinism makes the
                     # redone work exact, just wasted).
                     pool = concurrent.futures.ProcessPoolExecutor(
                         max_workers=workers)
-                    futures[i:] = self._submit(pool, specs[i:])
+                    futures[i:], submitted[i:] = self._submit(
+                        pool, specs[i:])
                     continue
                 except Exception as exc:
                     for pending in futures:
                         pending.cancel()
                     raise RunError(spec, exc) from exc
+                finished = time.monotonic_ns()
+                # Wall time as seen from the parent: queue wait plus
+                # the worker's run (the parent cannot see inside).
+                wall_ns = finished - submitted[i]
+                METRICS.histogram('executor.run_wall_ns').record(wall_ns)
+                PROFILE_LOG.append(finished, eventlog.EVENT_SPEC_DONE,
+                                   spec=spec.describe(), wall_ns=wall_ns)
                 i += 1
             return outcomes
         finally:
@@ -240,10 +266,15 @@ class ParallelRunner:
 
     def _submit(self, pool, specs):
         futures = []
+        submitted = []
         for spec in specs:
             METRICS.counter('executor.dispatched').inc()
+            now = time.monotonic_ns()
+            submitted.append(now)
+            PROFILE_LOG.append(now, eventlog.EVENT_SPEC_DISPATCH,
+                               spec=spec.describe(), jobs=self.jobs)
             futures.append(pool.submit(self._worker, spec))
-        return futures
+        return futures, submitted
 
     @staticmethod
     def _kill_pool(pool):
@@ -311,8 +342,10 @@ def _cache_is_safe():
     """Whether the ambient harness state is fully captured by spec
     normalization — if not, serving cached outcomes would be wrong."""
     obs = default_observability()
-    if obs is not None and getattr(obs, 'trace_out', None):
-        return False            # cache hits would skip the trace export
+    if obs is not None and (getattr(obs, 'trace_out', None)
+                            or getattr(obs, 'events_out', None)
+                            or getattr(obs, 'metrics_out', None)):
+        return False            # cache hits would skip the exports
     if default_fault_plan() is not None and default_fault_text() is None:
         return False            # plan installed without keyable text
     return True

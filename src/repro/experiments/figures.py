@@ -22,7 +22,8 @@ determines its outcome.
 
 import statistics
 
-from ..obs.report import explain_empty, sa_latency_rows
+from ..obs.eventlog import format_residency, residency_timeline, vm_names
+from ..obs.report import drop_warnings, explain_empty, sa_latency_rows
 from ..simkernel.units import MS, SEC, US
 from ..workloads import NPB, PARSEC, get_profile
 from .executor import run_specs
@@ -529,7 +530,8 @@ def sa_latency(quick=True, strategy=IRS):
         reason = explain_empty(strategy, spans_enabled=True)
         notes['empty_reason'] = reason
         rows = [['(none)', '0', '--', '--', '--', '--', reason]]
-    return FigureResult(title, headers, rows, notes)
+    return FigureResult(title, headers, rows, notes,
+                        warnings=drop_warnings(outcome.metrics.registry))
 
 
 def fairness_check(quick=True, apps=('streamcluster', 'UA')):
@@ -649,6 +651,60 @@ def cluster_resilience(quick=True):
         rows, notes)
 
 
+def _cluster_drop_warnings(summary):
+    """Warning lines for a cluster run's saturated observability rings
+    (the cluster summary carries the counts; there is no registry to
+    hand to :func:`~repro.obs.report.drop_warnings`)."""
+    warnings = []
+    for key, what in (('span_drops', 'span ring overflowed'),
+                      ('trace_drops', 'trace-record ring overflowed')):
+        count = summary.get(key, 0)
+        if count:
+            warnings.append(
+                'warning: %s — %d oldest entries dropped; counters are '
+                'complete, but exported windows are truncated (raise '
+                'the ring capacity to keep them)' % (what, count))
+    return warnings
+
+
+def cluster_health(quick=True, faults='cluster-chaos', seed=None):
+    """Cluster health report: each VM's residency timeline (place ->
+    crash -> orphan -> re-place / park), reconstructed from the
+    structured health event log of one seeded chaos run.
+
+    This is the event log demonstrating its design goal: the table is
+    built *only* from the JSONL-shaped events — no scenario counters,
+    no metrics — so the same reconstruction works offline on a file
+    written with ``--events-out``. ``faults=None`` shows the quiet
+    baseline (every VM a single ``place`` step).
+    """
+    cfg = _settings(quick)
+    if seed is None:
+        seed = cfg['seeds'][0]
+    measure_ns = 1 * SEC if quick else 2 * SEC
+    spec = cluster_spec(strategy=IRS, placement='first_fit', seed=seed,
+                        measure_ns=measure_ns, faults=faults, spans=True)
+    outcome = _outcomes([spec])[spec]
+    summary = outcome.cluster
+    events = summary['events']
+
+    rows = []
+    notes = {'event_counts': dict(summary['event_counts']),
+             'host_crashes': summary['host_crashes'],
+             'seed': seed, 'faults': faults}
+    for vm in vm_names(events):
+        steps = residency_timeline(events, vm)
+        rows.append([vm, '%d' % len(steps), format_residency(steps)])
+        notes[vm] = steps
+    if not rows:
+        rows = [['(none)', '0', 'no VM lifecycle events recorded']]
+    return FigureResult(
+        'Cluster extension: per-VM residency timelines'
+        ' (faults=%s, seed=%d)' % (faults or 'none', seed),
+        ['vm', 'steps', 'residency'], rows, notes,
+        warnings=_cluster_drop_warnings(summary))
+
+
 ALL_FIGURES = {
     'fig1a': fig1a,
     'fig1b': fig1b,
@@ -667,4 +723,5 @@ ALL_FIGURES = {
     'fairness_check': fairness_check,
     'cluster_consolidation': cluster_consolidation,
     'cluster_resilience': cluster_resilience,
+    'cluster_health': cluster_health,
 }

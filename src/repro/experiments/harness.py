@@ -9,6 +9,7 @@ duration.
 from ..core import IRSConfig
 from ..metrics import RunMetrics, TimelineRecorder, utilization_vs_fair_share
 from ..obs.exporters import write_chrome_trace
+from ..obs.exposition import write_exposition
 from ..simkernel.units import MS, SEC
 from ..workloads import (
     ApacheBenchWorkload,
@@ -64,14 +65,22 @@ class ObservabilityConfig:
     the SA-protocol span probes; ``timeline`` attaches a
     :class:`~repro.metrics.TimelineRecorder` sampling every
     ``timeline_period_ns``.
+
+    Cluster runs additionally honour ``events_out`` (the structured
+    health event log as JSONL) and ``metrics_out`` (a Prometheus-style
+    text exposition snapshot of the run's metric registry); both are
+    rewritten per run like ``trace_out``.
     """
 
     def __init__(self, trace_out=None, spans=True, timeline=True,
-                 timeline_period_ns=1 * MS):
+                 timeline_period_ns=1 * MS, events_out=None,
+                 metrics_out=None):
         self.trace_out = trace_out
         self.spans = spans
         self.timeline = timeline
         self.timeline_period_ns = timeline_period_ns
+        self.events_out = events_out
+        self.metrics_out = metrics_out
 
 
 # Observability applied to every run that does not pass ``observe``
@@ -111,6 +120,9 @@ class _ObsSession:
                                timeline=self.timeline,
                                spans=self.scenario.sim.trace.spans,
                                now_ns=self.scenario.sim.now)
+        if self.config.metrics_out:
+            write_exposition(self.config.metrics_out,
+                             self.scenario.sim.trace.metrics)
 
 
 def _arm_observability(scenario, observe):

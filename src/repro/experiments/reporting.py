@@ -38,13 +38,19 @@ def format_percent(value):
 
 class FigureResult:
     """Structured output of one figure driver: headers + rows + the
-    rendered table, plus a free-form dict for assertions in tests."""
+    rendered table, plus a free-form dict for assertions in tests.
 
-    def __init__(self, figure, headers, rows, notes=None):
+    ``warnings`` carries data-quality caveats (e.g. saturated
+    observability rings) the CLI prints after the table so a truncated
+    window never masquerades as a complete one.
+    """
+
+    def __init__(self, figure, headers, rows, notes=None, warnings=()):
         self.figure = figure
         self.headers = headers
         self.rows = rows
         self.notes = notes or {}
+        self.warnings = tuple(warnings)
 
     def table(self):
         return format_table(self.headers, self.rows, title=self.figure)

@@ -234,10 +234,12 @@ def cluster_spec(strategy='vanilla', placement='first_fit', seed=0,
                  n_hosts=4, n_pcpus=4, capacity_vcpus=None, n_hog_vms=4,
                  hog_vcpus=2, n_server_vms=4, server_vcpus=2,
                  arrivals_per_sec=400, rebalance=True, warmup_ns=None,
-                 measure_ns=None, faults=None):
+                 measure_ns=None, faults=None, spans=False):
     """Spec for one :func:`repro.cluster.run_consolidation` run.
     ``faults`` names a chaos campaign (``'cluster-chaos'``,
-    ``'host-flap-15'``, ...) from :data:`repro.faults.CAMPAIGNS`."""
+    ``'host-flap-15'``, ...) from :data:`repro.faults.CAMPAIGNS`;
+    ``spans`` turns on the cluster trace probes (placement instants,
+    migration flows, health transitions)."""
     return ClusterSpec(app='cluster-consolidation', strategy=strategy,
                        kind=CLUSTER, seed=seed, n_pcpus=n_pcpus,
                        fg_vcpus=server_vcpus, n_hosts=n_hosts,
@@ -247,7 +249,7 @@ def cluster_spec(strategy='vanilla', placement='first_fit', seed=0,
                        capacity_vcpus=capacity_vcpus,
                        arrivals_per_sec=arrivals_per_sec,
                        warmup_ns=warmup_ns, measure_ns=measure_ns,
-                       faults=faults)
+                       faults=faults, spans=spans)
 
 
 def probe_spec(n_inter_vms, seed=0, trigger='preemption'):

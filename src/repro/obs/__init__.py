@@ -7,23 +7,42 @@ The instrumentation plane of the reproduction (docs/observability.md):
 * :mod:`repro.obs.phases` - the SA-protocol phase taxonomy the probes
   in ``repro.core`` and ``repro.hypervisor`` emit;
 * :mod:`repro.obs.histograms` - log-bucketed latency histograms and
-  the typed counter/gauge/histogram registry;
+  the typed counter/gauge/histogram registry (plus prefix-scoped,
+  labelled per-host views);
 * :mod:`repro.obs.exporters` - Chrome trace-event JSON (Perfetto /
-  ``chrome://tracing``) and schema validation;
-* :mod:`repro.obs.report` - the per-phase ``sa-latency`` summary.
+  ``chrome://tracing``) with per-host cluster process groups and flow
+  stitching, plus schema validation;
+* :mod:`repro.obs.eventlog` - the structured cluster health event log
+  (bounded, deterministic JSONL) and residency-timeline reconstruction;
+* :mod:`repro.obs.exposition` - Prometheus-style text exposition of a
+  registry snapshot;
+* :mod:`repro.obs.report` - the per-phase ``sa-latency`` summary and
+  ring-drop warnings.
 """
 
+from .eventlog import (
+    CLUSTER_EVENT_KINDS,
+    EventLog,
+    format_residency,
+    read_jsonl,
+    residency_timeline,
+    vm_names,
+)
 from .exporters import (
+    CLUSTER_TRACK_PREFIX,
+    PID_CLUSTER_BASE,
     chrome_trace_events,
     load_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
 )
+from .exposition import render_exposition, write_exposition
 from .histograms import (
     CounterMetric,
     GaugeMetric,
     LogHistogram,
     MetricsRegistry,
+    ScopedRegistry,
 )
 from .phases import (
     ALL_PHASES,
@@ -38,6 +57,7 @@ from .phases import (
     SA_PHASES,
 )
 from .report import (
+    drop_warnings,
     explain_empty,
     format_text_report,
     phase_summaries,
@@ -47,7 +67,10 @@ from .spans import Span, SpanRecorder
 
 __all__ = [
     'ALL_PHASES',
+    'CLUSTER_EVENT_KINDS',
+    'CLUSTER_TRACK_PREFIX',
     'CounterMetric',
+    'EventLog',
     'GaugeMetric',
     'LogHistogram',
     'MetricsRegistry',
@@ -59,15 +82,24 @@ __all__ = [
     'PHASE_PREEMPT_FIRE',
     'PHASE_UPCALL',
     'PHASE_VIRQ',
+    'PID_CLUSTER_BASE',
     'SA_PHASES',
+    'ScopedRegistry',
     'Span',
     'SpanRecorder',
     'chrome_trace_events',
+    'drop_warnings',
     'explain_empty',
+    'format_residency',
     'format_text_report',
     'load_chrome_trace',
     'phase_summaries',
+    'read_jsonl',
+    'render_exposition',
+    'residency_timeline',
     'sa_latency_rows',
     'validate_chrome_trace',
+    'vm_names',
     'write_chrome_trace',
+    'write_exposition',
 ]

@@ -26,6 +26,20 @@ PID_HYPERVISOR = 1          # pCPU occupancy (who held each pCPU)
 PID_GUEST = 2               # per-vCPU guest task execution
 PID_SA = 3                  # SA/DP protocol spans
 
+#: Cluster hosts get one process group each, starting here: the first
+#: host (sorted by name) is pid 10, the next 11, and so on.
+PID_CLUSTER_BASE = 10
+
+#: Track-name prefix marking cluster-layer spans. The convention is
+#: ``cluster/<host>/<subtrack>`` (subtracks: ``health``, ``placement``,
+#: ``recovery``, ``mig:<vm>``); the exporter renders each host as its
+#: own Perfetto process group.
+CLUSTER_TRACK_PREFIX = 'cluster/'
+
+#: Flow-event name linking a migration/recovery departure span to its
+#: arrival span across host process groups (one arrow in Perfetto).
+FLOW_NAME = 'cluster-flow'
+
 _TRACK_SORT_HINT = {PID_HYPERVISOR: 'pCPUs', PID_GUEST: 'vCPU tasks',
                     PID_SA: 'SA protocol'}
 
@@ -153,6 +167,75 @@ def _span_events(spans):
 
 
 # ----------------------------------------------------------------------
+# Cluster tracks (per-host process groups + flow stitching)
+# ----------------------------------------------------------------------
+
+def _split_track(track):
+    """``cluster/<host>/<subtrack>`` -> (host, subtrack)."""
+    parts = track.split('/', 2)
+    host = parts[1] if len(parts) > 1 else '?'
+    subtrack = parts[2] if len(parts) > 2 else 'events'
+    return host, subtrack
+
+def _cluster_events(spans):
+    """Cluster spans as per-host Perfetto process groups.
+
+    Each host becomes one process (pid = :data:`PID_CLUSTER_BASE` + its
+    rank among sorted host names); each subtrack one thread. Spans
+    render as ``X`` slices - never ``B``/``E``, because overlapping
+    migrations on one host would interleave - and zero-duration spans
+    without flow detail become ``i`` instants. A span whose detail says
+    ``flow='start'`` additionally emits a ``s`` flow event, and
+    ``flow='end'`` an ``f`` (binding to the enclosing slice's end),
+    both carrying ``id`` = the shared ``flow_id`` - that is the arrow
+    Perfetto draws from the source-host slice to the target-host slice
+    of one migration or orphan recovery.
+    """
+    by_host = {}
+    for span in spans:
+        host, subtrack = _split_track(span.track)
+        by_host.setdefault(host, {}).setdefault(subtrack, []).append(span)
+
+    events = []
+    for rank, host in enumerate(sorted(by_host)):
+        pid = PID_CLUSTER_BASE + rank
+        events.append(_meta('process_name', pid, 0, name='host:%s' % host))
+        events.append(_meta('process_sort_index', pid, 0, sort_index=pid,
+                            label=host))
+        for tid, subtrack in enumerate(sorted(by_host[host])):
+            events.append(_meta('thread_name', pid, tid, name=subtrack))
+            keyed = []
+            for span in by_host[host][subtrack]:
+                args = dict(span.detail) if span.detail else {}
+                flow = args.get('flow')
+                flow_id = args.get('flow_id')
+                if span.duration_ns == 0 and flow is None:
+                    instant = {'name': span.phase, 'ph': 'i',
+                               'ts': _us(span.begin_ns), 'pid': pid,
+                               'tid': tid, 's': 't'}
+                    if args:
+                        instant['args'] = args
+                    keyed.append(((span.begin_ns, 0), instant))
+                    continue
+                keyed.append(((span.begin_ns, 0),
+                              _complete(span.phase, pid, tid, span.begin_ns,
+                                        span.end_ns, args or None)))
+                if flow is not None and flow_id is not None:
+                    # Flow companions sit inside the carrying slice so
+                    # the viewer can bind the arrow endpoints to it.
+                    flow_event = {'name': FLOW_NAME, 'cat': 'cluster',
+                                  'ts': _us(span.begin_ns), 'pid': pid,
+                                  'tid': tid, 'id': flow_id,
+                                  'ph': 's' if flow == 'start' else 'f'}
+                    if flow != 'start':
+                        flow_event['bp'] = 'e'
+                    keyed.append(((span.begin_ns, 1), flow_event))
+            keyed.sort(key=lambda pair: pair[0])
+            events.extend(event for __, event in keyed)
+    return events
+
+
+# ----------------------------------------------------------------------
 # Public API
 # ----------------------------------------------------------------------
 
@@ -170,7 +253,17 @@ def chrome_trace_events(machine=None, timeline=None, spans=None):
         events.extend(_pcpu_events(timeline, machine))
         events.extend(_vcpu_task_events(timeline, machine))
     if spans is not None:
-        events.extend(_span_events(spans.spans))
+        sa_spans = []
+        cluster_spans = []
+        for span in spans.spans:
+            if span.track.startswith(CLUSTER_TRACK_PREFIX):
+                cluster_spans.append(span)
+            else:
+                sa_spans.append(span)
+        if sa_spans:
+            events.extend(_span_events(sa_spans))
+        if cluster_spans:
+            events.extend(_cluster_events(cluster_spans))
     return events
 
 
@@ -195,12 +288,15 @@ def validate_chrome_trace(events):
     problem strings (empty = valid).
 
     Checks: required keys on every event, balanced and LIFO-nested
-    ``B``/``E`` pairs per (pid, tid) track, and non-decreasing ``ts``
-    per track in file order.
+    ``B``/``E`` pairs per (pid, tid) track, non-decreasing ``ts`` per
+    track in file order, ``id`` on every flow event (``s``/``t``/``f``),
+    and no flow-end (``f``) whose ``id`` never had a flow-start.
     """
     problems = []
     last_ts = {}
     stacks = {}
+    flow_starts = set()
+    flow_ends = []
     for i, event in enumerate(events):
         for key in ('ph', 'ts', 'pid', 'tid'):
             if key not in event:
@@ -232,6 +328,20 @@ def validate_chrome_trace(events):
                                       begin.get('name'), track))
         elif ph == 'X' and 'dur' not in event:
             problems.append('event %d: X without dur' % i)
+        elif ph in ('s', 't', 'f'):
+            if 'id' not in event:
+                problems.append('event %d: flow %r without id' % (i, ph))
+            elif ph == 's':
+                flow_starts.add(event['id'])
+            elif ph == 'f':
+                flow_ends.append((i, event['id']))
+    # Second pass: hosts are grouped in file order, so a flow-end on an
+    # earlier host may precede its start on a later one - match by id
+    # only after every start has been seen.
+    for i, flow_id in flow_ends:
+        if flow_id not in flow_starts:
+            problems.append('event %d: flow-end id %r without a '
+                            'flow-start' % (i, flow_id))
     for track, stack in stacks.items():
         if stack:
             problems.append('track %r: %d unbalanced B events'

@@ -186,6 +186,48 @@ class GaugeMetric:
         return '<Gauge %s=%r>' % (self.name, self.value)
 
 
+class ScopedRegistry:
+    """Prefix-scoped, label-carrying view of a :class:`MetricsRegistry`.
+
+    Every metric created through the view lives in the parent registry
+    under ``prefix + name`` and remembers ``name`` as its *family* plus
+    the view's labels — which is what lets the Prometheus exposition
+    (:mod:`repro.obs.exposition`) fold ``host.host0.placements`` and
+    ``host.host1.placements`` into one labelled family. The scope is
+    also the isolation boundary the cluster layer relies on: two hosts
+    with distinct prefixes can never increment each other's counters.
+    """
+
+    __slots__ = ('registry', 'prefix', 'labels')
+
+    def __init__(self, registry, prefix, labels=None):
+        self.registry = registry
+        self.prefix = prefix
+        self.labels = dict(labels or {})
+
+    def _bind(self, metric, name):
+        self.registry.set_meta(metric.name, name, self.labels)
+        return metric
+
+    def counter(self, name):
+        return self._bind(self.registry.counter(self.prefix + name), name)
+
+    def gauge(self, name):
+        return self._bind(self.registry.gauge(self.prefix + name), name)
+
+    def histogram(self, name):
+        return self._bind(self.registry.histogram(self.prefix + name), name)
+
+    def counter_values(self):
+        """``{scoped-name: value}`` for this scope's counters only."""
+        return {name[len(self.prefix):]: value
+                for name, value in self.registry.counter_values(
+                    prefixes=(self.prefix,)).items()}
+
+    def __repr__(self):
+        return '<ScopedRegistry %s%s>' % (self.prefix, self.labels or '')
+
+
 class MetricsRegistry:
     """Named, typed metrics created on first use.
 
@@ -195,6 +237,7 @@ class MetricsRegistry:
 
     def __init__(self):
         self._metrics = {}
+        self._meta = {}              # name -> (family, labels) for scopes
 
     def _get(self, name, factory, kind):
         metric = self._metrics.get(name)
@@ -214,6 +257,21 @@ class MetricsRegistry:
 
     def histogram(self, name):
         return self._get(name, LogHistogram, 'histogram')
+
+    def scoped(self, prefix, **labels):
+        """A :class:`ScopedRegistry` view: metrics created through it
+        live under ``prefix + name`` and carry ``labels`` (rendered by
+        the Prometheus exposition). Views with distinct prefixes are
+        isolated from each other by construction."""
+        return ScopedRegistry(self, prefix, labels)
+
+    def set_meta(self, name, family, labels):
+        """Record the (family, labels) identity of a scoped metric."""
+        self._meta[name] = (family, dict(labels))
+
+    def metric_meta(self, name):
+        """``(family, labels)`` of a scoped metric, or None."""
+        return self._meta.get(name)
 
     def __contains__(self, name):
         return name in self._metrics
@@ -259,10 +317,13 @@ class MetricsRegistry:
                 clone._metrics[name] = CounterMetric(name, metric.value)
             else:
                 clone._metrics[name] = GaugeMetric(name, metric.value)
+        clone._meta = {name: (family, dict(labels))
+                       for name, (family, labels) in self._meta.items()}
         return clone
 
     def clear(self):
         self._metrics.clear()
+        self._meta.clear()
 
     def __repr__(self):
         return '<MetricsRegistry %d metrics>' % len(self._metrics)

@@ -75,6 +75,32 @@ def explain_empty(strategy, spans_enabled):
             'the run or add interference')
 
 
+#: Ring-overflow counters every report should surface: a saturated
+#: ring means the exported window (and any span-derived view) is
+#: missing the oldest data, which must not fail silently.
+DROP_COUNTERS = (
+    ('spans.dropped', 'span ring overflowed'),
+    ('trace.dropped', 'trace-record ring overflowed'),
+)
+
+
+def drop_warnings(registry):
+    """One warning line per saturated observability ring (empty when
+    nothing was dropped). Reports print these verbatim."""
+    warnings = []
+    for name, what in DROP_COUNTERS:
+        metric = registry.get(name)
+        if metric is None or metric.kind != 'counter':
+            continue
+        if metric.value > 0:
+            warnings.append(
+                'warning: %s — %d oldest entries dropped; histograms '
+                'and counters are complete, but exported windows are '
+                'truncated (raise the ring capacity to keep them)'
+                % (what, metric.value))
+    return warnings
+
+
 def format_text_report(registry, title='SA-protocol latency'):
     """Minimal aligned text rendering (for quick printing without the
     experiments reporting layer)."""
@@ -93,8 +119,10 @@ def format_text_report(registry, title='SA-protocol latency'):
 
 
 __all__ = [
+    'DROP_COUNTERS',
     'MetricsRegistry',
     'SA_LATENCY_HEADERS',
+    'drop_warnings',
     'explain_empty',
     'format_text_report',
     'phase_summaries',

@@ -136,6 +136,10 @@ class SpanRecorder:
             self._ring[self._head] = span
             self._head = (self._head + 1) % self.max_spans
             self.dropped += 1
+            # Mirrored into the registry so end-of-run snapshots (and
+            # the sa-latency / cluster-health reports) can warn that
+            # the ring saturated instead of failing silently.
+            self.registry.counter('spans.dropped').inc()
 
     # ------------------------------------------------------------------
     # Introspection

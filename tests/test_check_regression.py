@@ -1,0 +1,98 @@
+"""The perf-regression gate: tolerance math, noise floor, CLI exit
+codes."""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), '..'))
+SCRIPT = os.path.join(REPO_ROOT, 'benchmarks', 'check_regression.py')
+
+sys.path.insert(0, os.path.join(REPO_ROOT, 'benchmarks'))
+
+from check_regression import compare  # noqa: E402
+
+
+BASELINE = {
+    'fig1a': {'serial_s': 1.0, 'cache_warm_s': 0.001},
+    'fig10': {'serial_s': 4.0},
+}
+
+
+class TestCompare:
+    def test_no_regression_within_tolerance(self):
+        fresh = {'fig1a': {'serial_s': 1.4}, 'fig10': {'serial_s': 4.1}}
+        assert compare(BASELINE, fresh, tolerance=0.5) == []
+
+    def test_flags_past_tolerance(self):
+        fresh = {'fig1a': {'serial_s': 1.6}, 'fig10': {'serial_s': 4.1}}
+        regressions = compare(BASELINE, fresh, tolerance=0.5)
+        assert len(regressions) == 1
+        figure, key, base, new, ratio = regressions[0]
+        assert (figure, key) == ('fig1a', 'serial_s')
+        assert base == 1.0 and new == 1.6
+        assert abs(ratio - 1.6) < 1e-9
+
+    def test_noise_floor_skips_tiny_timings(self):
+        # cache_warm_s regressed 100x but sits below the floor.
+        fresh = {'fig1a': {'serial_s': 1.0, 'cache_warm_s': 0.1}}
+        assert compare(BASELINE, fresh, tolerance=0.5,
+                       min_seconds=0.05) == []
+        # Lowering the floor exposes it.
+        assert compare(BASELINE, fresh, tolerance=0.5,
+                       min_seconds=0.0005) != []
+
+    def test_one_sided_figures_and_keys_ignored(self):
+        fresh = {'fig1a': {'serial_s': 1.0, 'jobs2_s': 99.0},
+                 'brand_new': {'serial_s': 99.0}}
+        assert compare(BASELINE, fresh, tolerance=0.5) == []
+
+    def test_faster_is_never_a_regression(self):
+        fresh = {'fig1a': {'serial_s': 0.1}, 'fig10': {'serial_s': 0.1}}
+        assert compare(BASELINE, fresh, tolerance=0.0) == []
+
+
+class TestCli:
+    def _write(self, tmp_path, name, figures):
+        path = tmp_path / name
+        path.write_text(json.dumps({'figures': figures}))
+        return str(path)
+
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, SCRIPT, *argv],
+            capture_output=True, text=True,
+            env=dict(os.environ,
+                     PYTHONPATH=os.path.join(REPO_ROOT, 'src')))
+
+    def test_exit_zero_when_clean(self, tmp_path):
+        baseline = self._write(tmp_path, 'base.json', BASELINE)
+        fresh = self._write(tmp_path, 'fresh.json',
+                            {'fig1a': {'serial_s': 1.0}})
+        proc = self._run('--baseline', baseline, '--fresh', fresh)
+        assert proc.returncode == 0, proc.stderr
+        assert 'OK' in proc.stdout
+
+    def test_exit_nonzero_on_regression(self, tmp_path):
+        baseline = self._write(tmp_path, 'base.json', BASELINE)
+        fresh = self._write(tmp_path, 'fresh.json',
+                            {'fig1a': {'serial_s': 9.0}})
+        proc = self._run('--baseline', baseline, '--fresh', fresh)
+        assert proc.returncode == 1
+        assert 'regressed' in proc.stdout
+
+    def test_warn_only_exits_zero(self, tmp_path):
+        baseline = self._write(tmp_path, 'base.json', BASELINE)
+        fresh = self._write(tmp_path, 'fresh.json',
+                            {'fig1a': {'serial_s': 9.0}})
+        proc = self._run('--baseline', baseline, '--fresh', fresh,
+                         '--warn-only')
+        assert proc.returncode == 0
+        assert 'regressed' in proc.stdout
+
+    def test_rejects_shapeless_input(self, tmp_path):
+        bogus = tmp_path / 'bogus.json'
+        bogus.write_text('{"not_figures": {}}')
+        proc = self._run('--baseline', str(bogus), '--fresh', str(bogus))
+        assert proc.returncode != 0

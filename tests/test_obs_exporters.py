@@ -2,6 +2,8 @@
 
 from repro.metrics import TimelineSample
 from repro.obs.exporters import (
+    FLOW_NAME,
+    PID_CLUSTER_BASE,
     PID_GUEST,
     PID_HYPERVISOR,
     PID_SA,
@@ -156,6 +158,108 @@ class TestValidator:
         events = [{'name': 'a', 'ph': 'X', 'ts': 0.0, 'pid': 1, 'tid': 0}]
         problems = validate_chrome_trace(events)
         assert any('without dur' in p for p in problems)
+
+
+def cluster_spans():
+    """One live migration host0 -> host1 (flow-stitched) plus health
+    instants on the source host."""
+    r = SpanRecorder(enabled=True)
+    r.instant(5_000, 'host.crash', 'cluster/host0/health', orphans=2)
+    mig = r.begin(10_000, 'cluster.migrate', 'cluster/host0/mig:vm0',
+                  flow='start', flow_id=1, vm='vm0', target='host1')
+    r.end(40_000, mig, outcome='done')
+    r.instant(40_000, 'cluster.migrate_in', 'cluster/host1/mig:vm0',
+              flow='end', flow_id=1, source='host0')
+    r.instant(60_000, 'host.recover', 'cluster/host0/health')
+    return r
+
+
+class TestClusterTracks:
+    def test_cluster_trace_validates(self):
+        events = chrome_trace_events(spans=cluster_spans())
+        assert validate_chrome_trace(events) == []
+
+    def test_per_host_process_groups(self):
+        events = chrome_trace_events(spans=cluster_spans())
+        names = {e['pid']: e['args']['name'] for e in events
+                 if e['ph'] == 'M' and e['name'] == 'process_name'
+                 and e['pid'] >= PID_CLUSTER_BASE}
+        assert names == {PID_CLUSTER_BASE: 'host:host0',
+                         PID_CLUSTER_BASE + 1: 'host:host1'}
+        threads = {(e['pid'], e['args']['name']) for e in events
+                   if e['ph'] == 'M' and e['name'] == 'thread_name'
+                   and e['pid'] >= PID_CLUSTER_BASE}
+        assert threads == {(PID_CLUSTER_BASE, 'health'),
+                           (PID_CLUSTER_BASE, 'mig:vm0'),
+                           (PID_CLUSTER_BASE + 1, 'mig:vm0')}
+
+    def test_migration_renders_as_complete_slice(self):
+        events = chrome_trace_events(spans=cluster_spans())
+        mig = [e for e in events if e.get('name') == 'cluster.migrate']
+        assert len(mig) == 1
+        assert mig[0]['ph'] == 'X'
+        assert mig[0]['ts'] == 10.0 and mig[0]['dur'] == 30.0
+        assert mig[0]['args']['vm'] == 'vm0'
+        # Cluster spans never use B/E — overlapping migrations on one
+        # host would interleave.
+        assert not any(e['ph'] in ('B', 'E') for e in events
+                       if e.get('pid', 0) >= PID_CLUSTER_BASE)
+
+    def test_flow_events_stitch_source_to_target(self):
+        events = chrome_trace_events(spans=cluster_spans())
+        start = next(e for e in events if e['ph'] == 's')
+        end = next(e for e in events if e['ph'] == 'f')
+        assert start['name'] == end['name'] == FLOW_NAME
+        assert start['id'] == end['id'] == 1
+        assert start['pid'] == PID_CLUSTER_BASE            # host0
+        assert end['pid'] == PID_CLUSTER_BASE + 1          # host1
+        assert end['bp'] == 'e'
+        # The flow-end's carrier is a slice (zero-duration X), not an
+        # instant, so the viewer has something to bind the arrow to.
+        carrier = [e for e in events
+                   if e.get('name') == 'cluster.migrate_in']
+        assert carrier and carrier[0]['ph'] == 'X'
+
+    def test_flowless_zero_duration_becomes_instant(self):
+        events = chrome_trace_events(spans=cluster_spans())
+        instants = [e for e in events if e['ph'] == 'i']
+        assert {e['name'] for e in instants} == {'host.crash',
+                                                'host.recover'}
+        assert all(e['s'] == 't' for e in instants)
+
+    def test_sa_and_cluster_tracks_coexist(self):
+        spans = sa_spans()
+        spans.instant(5_000, 'host.crash', 'cluster/host0/health')
+        events = chrome_trace_events(spans=spans)
+        assert validate_chrome_trace(events) == []
+        assert any(e['pid'] == PID_SA for e in events if e['ph'] != 'M')
+        assert any(e['pid'] == PID_CLUSTER_BASE for e in events
+                   if e['ph'] != 'M')
+
+
+class TestFlowValidation:
+    def test_flow_event_requires_id(self):
+        events = [{'name': 'flow', 'ph': 's', 'ts': 0.0,
+                   'pid': 1, 'tid': 0}]
+        problems = validate_chrome_trace(events)
+        assert any('id' in p for p in problems)
+
+    def test_flow_end_without_start_flagged(self):
+        events = [{'name': 'flow', 'ph': 'f', 'bp': 'e', 'ts': 0.0,
+                   'pid': 1, 'tid': 0, 'id': 7}]
+        problems = validate_chrome_trace(events)
+        assert any('start' in p for p in problems)
+
+    def test_flow_end_may_precede_start_in_file_order(self):
+        # Hosts are grouped in file order, so a migration from a
+        # later-sorted host emits its 'f' before the 's'.
+        events = [
+            {'name': 'flow', 'ph': 'f', 'bp': 'e', 'ts': 5.0,
+             'pid': 10, 'tid': 0, 'id': 7},
+            {'name': 'flow', 'ph': 's', 'ts': 1.0,
+             'pid': 11, 'tid': 0, 'id': 7},
+        ]
+        assert validate_chrome_trace(events) == []
 
 
 class TestRoundTrip:
