@@ -44,11 +44,53 @@ FIGURES = {
     'cluster-resilience': lambda: cluster_resilience(quick=True),
 }
 
+#: One-shot actions per iteration of the dispatch microbenchmark
+#: program (Acquire + Release; the Compute is charged by the timer
+#: path, not the dispatch table).
+DISPATCH_ITERATIONS = 50_000
+
 
 def _timed(driver):
     start = time.perf_counter()
     driver()
     return round(time.perf_counter() - start, 4)
+
+
+def measure_dispatch(iterations=DISPATCH_ITERATIONS):
+    """Time the guest kernel's action-dispatch hot path
+    (``repro.guestos.interp.ActionInterpreter``): one task chewing
+    through uncontended lock/unlock pairs separated by short computes.
+    Returns a ``BENCH_runtimes.json`` figure entry keyed on seconds and
+    nanoseconds-per-one-shot-action."""
+    from repro.guestos import GuestKernel
+    from repro.hypervisor import Machine, VM
+    from repro.simkernel import Simulator
+    from repro.simkernel.units import SEC, US
+    from repro.workloads import Acquire, Compute, Mutex, Release
+
+    sim = Simulator(seed=0)
+    machine = Machine(sim, n_pcpus=1)
+    vm = VM('bench', 1, sim)
+    machine.add_vm(vm, pinning=[0])
+    kernel = GuestKernel(sim, vm, machine)
+    lock = Mutex('m')
+
+    def program():
+        for __ in range(iterations):
+            yield Acquire(lock)
+            yield Release(lock)
+            yield Compute(1 * US)
+
+    kernel.spawn('dispatch', program(), gcpu_index=0)
+    machine.start()
+    start = time.perf_counter()
+    sim.run_until(1000 * SEC)
+    wall = time.perf_counter() - start
+    one_shot_actions = iterations * 2
+    return {
+        'dispatch_s': round(wall, 4),
+        'ns_per_action': round(wall * 1e9 / one_shot_actions, 1),
+    }
 
 
 def measure(jobs):
@@ -76,6 +118,8 @@ def measure(jobs):
         set_default_executor(None)
         results[name] = entry
         print(f'{name}: {entry}')
+    results['action-dispatch'] = measure_dispatch()
+    print(f"action-dispatch: {results['action-dispatch']}")
     return results
 
 

@@ -192,11 +192,9 @@ class Host:
         host without a sender: the guest would never see activations."""
         if self.machine.sa_sender is None:
             return None
-        receiver = SaReceiver(self.sim, kernel, self.irs_config)
-        kernel.sa_receiver = receiver
-        kernel.vm.irs_capable = True
-        kernel.balancer.irs_wake_rule = self.irs_config.wakeup_preempt_tagged
-        return receiver
+        return kernel.attach_sa_receiver(
+            SaReceiver(self.sim, kernel, self.irs_config),
+            wake_rule=self.irs_config.wakeup_preempt_tagged)
 
     def evict_vm(self, vm):
         """Live-migration pause: pull ``vm`` off this host. The VM

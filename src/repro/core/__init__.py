@@ -28,10 +28,9 @@ def install_irs(machine, kernels, config=None):
     sender = SaSender(machine.sim, machine, config)
     machine.attach_sa_sender(sender)
     for kernel in kernels:
-        receiver = SaReceiver(machine.sim, kernel, config)
-        kernel.sa_receiver = receiver
-        kernel.vm.irs_capable = True
-        kernel.balancer.irs_wake_rule = config.wakeup_preempt_tagged
+        kernel.attach_sa_receiver(
+            SaReceiver(machine.sim, kernel, config),
+            wake_rule=config.wakeup_preempt_tagged)
     return sender
 
 

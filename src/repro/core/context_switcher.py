@@ -29,6 +29,9 @@ class ContextSwitcher:
         where ``op`` is the SCHEDOP string to acknowledge with and the
         task is None if the vCPU was running nothing migratable."""
         op, task = self.kernel.sa_context_switch(gcpu)
+        proto = gcpu.vcpu.sa_protocol
+        if proto is not None:
+            proto.deschedule(task)
         if task is not None:
             self.switches += 1
             self.kernel.sim.trace.count('irs.context_switches')

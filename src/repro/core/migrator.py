@@ -53,6 +53,7 @@ class Migrator:
         """Move ``task`` (in migrator limbo) off ``source_gcpu``."""
         if task.state != TASK_MIGRATING:
             self._retry_counts.pop(task, None)
+            self._dispose(task, source_gcpu, 'stale')
             self._end_span(task, outcome='stale')
             return None
         target = self._find_target(source_gcpu)
@@ -84,13 +85,22 @@ class Migrator:
                 # exactly the failure mode the defense exists for.
                 self.sim.trace.count('irs.migrator_failures')
                 self.sim.trace.count('irs.migrator_stranded')
+                self._dispose(task, source_gcpu, 'stranded')
                 self._end_span(task, outcome='stranded')
                 return None
         self._retry_counts.pop(task, None)
         self.migrations += 1
         self.kernel.migrate_limbo_task(task, target)
+        self._dispose(task, source_gcpu, 'migrated')
         self._end_span(task, outcome='migrated', target=target.name)
         return target
+
+    def _dispose(self, task, source_gcpu, outcome):
+        """Tell the source vCPU's SA protocol machine the limbo task of
+        its round reached a terminal outcome."""
+        proto = source_gcpu.vcpu.sa_protocol
+        if proto is not None:
+            proto.task_disposed(task, outcome)
 
     def _end_span(self, task, **detail):
         """Close the migrate-pick -> migrate-done span (opened by the
@@ -132,6 +142,7 @@ class Migrator:
         self.fallbacks += 1
         self.sim.trace.count('irs.migrator_fallbacks')
         self.kernel.migrate_limbo_task(task, source_gcpu)
+        self._dispose(task, source_gcpu, 'parked_home')
         self._end_span(task, outcome='fallback')
         return source_gcpu
 

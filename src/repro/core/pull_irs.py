@@ -133,11 +133,5 @@ def install_pull_irs(machine, kernels, tag_tasks=True):
     for kernel in kernels:
         migrator = PullMigrator(machine.sim, kernel, machine.hypercalls,
                                 tag_tasks=tag_tasks)
-        kernel.pull_migrator = migrator
-        # vCPUs that are already idle never pass through the kernel's
-        # idle path; arm their polls now.
-        for gcpu in kernel.gcpus:
-            if gcpu.is_guest_idle:
-                migrator.on_idle(gcpu)
-        migrators.append(migrator)
+        migrators.append(kernel.attach_pull_migrator(migrator))
     return migrators

@@ -18,6 +18,7 @@ from ..obs.phases import (
 from .config import IRSConfig
 from .context_switcher import ContextSwitcher
 from .migrator import Migrator
+from .protocol import ensure_protocol
 
 
 class SaReceiver:
@@ -38,6 +39,10 @@ class SaReceiver:
             return
         if gcpu.in_sa_handler:
             return
+        # The protocol resolves this to the normal NOTIFIED->SWITCHING
+        # edge, a lost-ack re-entry, or a spurious round (delayed or
+        # duplicated upcall arriving after the offer closed).
+        ensure_protocol(gcpu.vcpu).upcall()
         spans = self.sim.trace.spans
         if spans.enabled:
             # The vIRQ leg ends where the upcall leg begins: here.
@@ -73,3 +78,9 @@ class SaReceiver:
             # lands (or by the offer's timeout if the ack gets lost).
             spans.begin(self.sim.now, PHASE_ACK, gcpu.vcpu.name, op=op)
         self.kernel.sa_ack(gcpu, op)
+        proto = gcpu.vcpu.sa_protocol
+        if proto is not None:
+            # Closes spurious rounds the sender will never handshake;
+            # real rounds were advanced by the sender when the sched_op
+            # hypercall landed (or stay LIMBO if the ack was lost).
+            proto.ack_sent()

@@ -25,6 +25,7 @@ after a backoff period so a recovered channel wins the protocol back.
 from ..hypervisor.channels import VIRQ_SA_UPCALL
 from ..obs.phases import PHASE_ACK, PHASE_OFFER, PHASE_VIRQ
 from .config import IRSConfig
+from .protocol import ensure_protocol
 
 
 class SaHealthWatchdog:
@@ -120,6 +121,7 @@ class SaSender:
             self.suppressed += 1
             self.sim.trace.count('irs.sa_suppressed')
             return False
+        ensure_protocol(vcpu).offer()
         vcpu.sa_pending = True
         self.sent += 1
         vcpu.sa_offers += 1
@@ -145,6 +147,8 @@ class SaSender:
             self.duplicate_acks += 1
             self.sim.trace.count('irs.sa_dup_acks')
             return
+        if vcpu.sa_protocol is not None:
+            vcpu.sa_protocol.ack()
         vcpu.sa_pending = False
         self._attempts.pop(vcpu, None)
         offered_at = self._offer_times.pop(vcpu, None)
@@ -169,6 +173,8 @@ class SaSender:
             timeout.cancel()
         had_offer = self._offer_times.pop(vcpu, None) is not None
         self._attempts.pop(vcpu, None)
+        if vcpu.sa_protocol is not None:
+            vcpu.sa_protocol.cancel()
         vcpu.sa_pending = False
         spans = self.sim.trace.spans
         if had_offer and spans.enabled:
@@ -190,6 +196,8 @@ class SaSender:
                 and attempts < self.config.sa_ack_retries):
             # Retry-with-backoff: the upcall (or its ack) may have been
             # lost; re-send and extend the window exponentially.
+            if vcpu.sa_protocol is not None:
+                vcpu.sa_protocol.retry()
             self._attempts[vcpu] = attempts + 1
             self.retried += 1
             self.sim.trace.count('irs.sa_retries')
@@ -204,6 +212,8 @@ class SaSender:
             return
         self._offer_times.pop(vcpu, None)
         self._attempts.pop(vcpu, None)
+        if vcpu.sa_protocol is not None:
+            vcpu.sa_protocol.timeout()
         vcpu.sa_pending = False
         self.timed_out += 1
         self.sim.trace.count('irs.sa_timeouts')

@@ -10,8 +10,8 @@
 """
 
 from ..core import IRSConfig, install_irs
-from ..hypervisor.balance_sched import enable_balance_scheduling
 from ..hypervisor.delayed_preempt import install_delayed_preemption
+from ..hypervisor.machine import StrategyDescriptor
 
 VANILLA = 'vanilla'
 PLE = 'ple'
@@ -35,9 +35,11 @@ def apply_strategy(machine, strategy, irs_kernels=(), irs_config=None):
     if strategy == VANILLA:
         return None
     if strategy == PLE:
-        return machine.enable_ple()
+        machine.attach_strategies(StrategyDescriptor(ple=True))
+        return machine.ple
     if strategy == RELAXED_CO:
-        return machine.enable_relaxed_co()
+        machine.attach_strategies(StrategyDescriptor(relaxed_co=True))
+        return machine.relaxed_co
     if strategy == IRS:
         if not irs_kernels:
             raise ValueError('IRS requires at least one capable guest')
@@ -50,6 +52,7 @@ def apply_strategy(machine, strategy, irs_kernels=(), irs_config=None):
         return install_delayed_preemption(machine, irs_kernels)
     if strategy == BALANCE_SCHED:
         # Only meaningful for unpinned vCPUs (placement-based scheme).
-        return enable_balance_scheduling(machine)
+        machine.attach_strategies(StrategyDescriptor(balance_sched=True))
+        return machine.hv_balancer
     raise ValueError('unknown strategy %r (want one of %s)'
                      % (strategy, ', '.join(ALL_STRATEGIES)))

@@ -160,6 +160,11 @@ class FaultInjector:
         self.machine = None
         #: injections per fault kind this run.
         self.injected = Counter()
+        #: SA-protocol state of the target vCPU at the moment each
+        #: SA-relevant fault struck (``(kind, state)`` -> count). Kept
+        #: out of :meth:`summary` so report payloads are unchanged;
+        #: read it directly when analysing degraded-edge coverage.
+        self.sa_states_struck = Counter()
         self._fired = Counter()          # spec index -> firings
         self._stale_runstates = {}       # vcpu -> last truthful probe
         self._held_virqs = {}            # vcpu -> [(virq, flush_event)]
@@ -191,6 +196,13 @@ class FaultInjector:
         self.sim.trace.count('faults.%s' % spec.kind)
         self.sim.trace.count('faults.injected')
 
+    def _record_sa_state(self, spec, vcpu):
+        """Attribute an SA-relevant fault to the protocol state its
+        target vCPU's round was in when the fault struck."""
+        proto = getattr(vcpu, 'sa_protocol', None)
+        state = proto.state if proto is not None else 'untracked'
+        self.sa_states_struck[(spec.kind, state)] += 1
+
     # ------------------------------------------------------------------
     # Hook: vIRQ delivery (EventChannels.send_virq)
     # ------------------------------------------------------------------
@@ -206,6 +218,7 @@ class FaultInjector:
             if not self._roll(index, spec):
                 continue
             self._record(spec)
+            self._record_sa_state(spec, vcpu)
             if spec.kind == 'virq_drop':
                 self._flush_held(channels, vcpu)
                 return
@@ -276,6 +289,7 @@ class FaultInjector:
                 continue
             if self._roll(index, spec):
                 self._record(spec)
+                self._record_sa_state(spec, task.gcpu.vcpu)
                 return True
         return False
 
@@ -293,6 +307,7 @@ class FaultInjector:
                 continue
             if self._roll(index, spec):
                 self._record(spec)
+                self._record_sa_state(spec, vcpu)
                 return True
         return False
 

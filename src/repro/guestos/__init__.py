@@ -6,10 +6,14 @@ load balancing, timers, and the migration stopper.
 
 from .balancer import GuestBalancer
 from .cfs import CfsConfig, CfsPolicy
-from .kernel import GuestCpu, GuestKernel
+from .cpumask import CpuHotplug
+from .gcpu import GuestCpu
+from .interp import ActionInterpreter
+from .kernel import GuestKernel
 from .loadavg import RtAvgTracker
 from .migration import MigrationRequest, MigrationStopper
 from .runqueue import RunQueue
+from .syncobjects import SyncEngine
 from .task import (
     NICE_0_WEIGHT,
     TASK_EXITED,
@@ -19,14 +23,17 @@ from .task import (
     TASK_SLEEPING,
     Task,
 )
-from .timers import TimerService
+from .timers import TickDriver, TimerService
 
 __all__ = [
+    'ActionInterpreter',
     'CfsConfig',
     'CfsPolicy',
+    'CpuHotplug',
     'GuestBalancer',
     'GuestCpu',
     'GuestKernel',
+    'SyncEngine',
     'MigrationRequest',
     'MigrationStopper',
     'NICE_0_WEIGHT',
@@ -38,5 +45,6 @@ __all__ = [
     'TASK_READY',
     'TASK_RUNNING',
     'TASK_SLEEPING',
+    'TickDriver',
     'TimerService',
 ]

@@ -1,0 +1,128 @@
+"""Workload-action execution engine.
+
+Interprets the zero-time ("one-shot") actions of a task's program —
+everything except ``Compute``, which the kernel's run loop charges as
+CPU time. Dispatch is a per-action-type handler table (one dict lookup
+on the concrete class) instead of an isinstance chain: this sits on the
+kernel's hottest path, and a program step costs the same no matter
+which action it is or how many action types exist.
+
+Handlers have the signature ``handler(gcpu, task, action) -> bool``;
+True means the action was consumed and the task may keep executing,
+False that the task blocked, spun, yielded, or otherwise lost the CPU.
+New action types register via :meth:`ActionInterpreter.register`
+(subclasses of registered types resolve automatically).
+"""
+
+from ..workloads import actions as act
+
+# Safety valve: a program may chain zero-cost actions (marks, lock ops),
+# but an unbounded chain means a broken workload definition.
+MAX_ZERO_TIME_ACTIONS = 100_000
+
+
+class ActionInterpreter:
+    """Table-dispatched executor for one-shot workload actions."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        sync_engine = kernel.sync
+        self._handlers = {
+            act.Acquire: sync_engine.do_acquire,
+            act.Release: sync_engine.do_release,
+            act.AcquireRead: sync_engine.do_acquire_read,
+            act.AcquireWrite: sync_engine.do_acquire_write,
+            act.ReleaseRead: sync_engine.do_release_read,
+            act.ReleaseWrite: sync_engine.do_release_write,
+            act.BarrierWait: sync_engine.do_barrier,
+            act.QueuePut: sync_engine.do_queue_put,
+            act.QueueGet: sync_engine.do_queue_get,
+            act.Sleep: self._do_sleep,
+            act.Mark: self._do_mark,
+            act.YieldCpu: self._do_yield,
+        }
+
+    def register(self, action_type, handler):
+        """Bind ``handler(gcpu, task, action)`` to ``action_type``."""
+        self._handlers[action_type] = handler
+
+    def run(self, gcpu):
+        """Drive ``gcpu``'s current task until it computes, spins,
+        blocks, exits, or loses the CPU."""
+        kernel = self.kernel
+        guard = 0
+        while True:
+            task = gcpu.current
+            if task is None or gcpu.run_started_at is None:
+                return
+            if task.spinning:
+                kernel.machine.notify_spin_start(gcpu.vcpu)
+                return
+            action = task.action
+            if action is None:
+                action = task.next_action(task.mailbox)
+                task.mailbox = None
+                if action is None:
+                    kernel._exit_current(gcpu)
+                    return
+                task.action = action
+                if isinstance(action, act.Compute):
+                    task.remaining_ns = action.duration_ns
+            if isinstance(action, act.Compute):
+                if task.remaining_ns <= 0:
+                    task.action = None
+                    continue
+                kernel.ticks.arm_quantum(gcpu)
+                return
+            guard += 1
+            if guard > MAX_ZERO_TIME_ACTIONS:
+                raise RuntimeError(
+                    '%s chained %d zero-time actions; add Compute steps'
+                    % (task.name, guard))
+            if not self.execute(gcpu, task, action):
+                return
+            if gcpu.current is not task:
+                # A wakeup we triggered preempted us.
+                return
+
+    def execute(self, gcpu, task, action):
+        """Run one one-shot action. Returns True when the task can
+        continue executing (action consumed)."""
+        handler = self._handlers.get(action.__class__)
+        if handler is None:
+            handler = self._resolve(action)
+        return handler(gcpu, task, action)
+
+    def _resolve(self, action):
+        """Slow path: walk the MRO so subclasses of registered action
+        types dispatch like their base, then cache the result."""
+        for klass in action.__class__.__mro__[1:]:
+            handler = self._handlers.get(klass)
+            if handler is not None:
+                self._handlers[action.__class__] = handler
+                return handler
+        raise TypeError('unknown action %r' % (action,))
+
+    # ------------------------------------------------------------------
+    # Non-sync one-shot actions
+    # ------------------------------------------------------------------
+
+    def _do_sleep(self, gcpu, task, action):
+        # The sleep is complete once the timer fires; clear the
+        # action now so the wakeup resumes at the next one.
+        task.action = None
+        self.kernel.timers.arm_sleep(task, action.duration_ns)
+        self.kernel._block_current(gcpu)
+        return False
+
+    def _do_mark(self, gcpu, task, action):
+        task.action = None
+        action.callback(task, self.kernel.sim.now)
+        return True
+
+    def _do_yield(self, gcpu, task, action):
+        task.action = None
+        if gcpu.rq.nr_ready == 0:
+            return True
+        self.kernel._preempt_current(gcpu)
+        return False

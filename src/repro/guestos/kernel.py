@@ -1,81 +1,34 @@
-"""The guest kernel: task execution, CFS scheduling, and the
-paravirtual interface to the hypervisor.
+"""The guest kernel: the lean scheduling core of one VM.
 
-One :class:`GuestKernel` per VM. Each vCPU gets a :class:`GuestCpu`
-(runqueue + current task + timers). Execution is charged between events
-in integer nanoseconds; when the hypervisor deschedules a vCPU the
-guest's view simply freezes — its current task stays "running" and its
-timer ticks stop — which is precisely the semantic gap IRS bridges.
+It owns task lifecycle and CFS dispatch (wake/schedule/preempt/block)
+and composes the rest of the guest layer as cohesive engines:
+:class:`~repro.guestos.interp.ActionInterpreter` (workload-action
+execution, the hot path), :class:`~repro.guestos.syncobjects.SyncEngine`
+(lock/barrier/queue wait-grant), :class:`~repro.guestos.timers.TickDriver`
+(quantum/tick/NOHZ) and :class:`~repro.guestos.cpumask.CpuHotplug`.
 
-The IRS guest components (``repro.core``) plug in through three hooks:
-``sa_begin`` / ``sa_context_switch`` / ``sa_ack`` plus
-``migrate_limbo_task`` for the migrator.
+Execution is charged between events in integer nanoseconds; when the
+hypervisor deschedules a vCPU the guest's view simply freezes — its
+current task stays "running" and its timer ticks stop — which is
+precisely the semantic gap IRS bridges. Optional components plug in
+through the typed attach points (:meth:`GuestKernel.attach_sa_receiver`,
+:meth:`GuestKernel.attach_pull_migrator`,
+:meth:`GuestKernel.attach_delay_preempt`) and the IRS hooks
+``sa_begin`` / ``sa_context_switch`` / ``sa_ack`` /
+``migrate_limbo_task``.
 """
 
 from ..hypervisor.hypercalls import SCHEDOP_BLOCK, SCHEDOP_YIELD
 from ..workloads import actions as act
-from ..workloads import sync
 from .balancer import GuestBalancer
 from .cfs import CfsConfig, CfsPolicy
-from .loadavg import RtAvgTracker
-from .runqueue import RunQueue
-from .task import (
-    TASK_EXITED,
-    TASK_MIGRATING,
-    TASK_READY,
-    TASK_RUNNING,
-    TASK_SLEEPING,
-    Task,
-)
-from .timers import TimerService
-
-# Safety valve: a program may chain zero-cost actions (marks, lock ops),
-# but an unbounded chain means a broken workload definition.
-_MAX_ZERO_TIME_ACTIONS = 100_000
-
-
-class GuestCpu:
-    """Per-vCPU guest state: runqueue, current task, timers, load."""
-
-    def __init__(self, kernel, vcpu, index):
-        self.kernel = kernel
-        self.vcpu = vcpu
-        self.index = index
-        self.name = '%s.cpu%d' % (kernel.vm.name, index)
-        self.rq = RunQueue(self)
-        self.current = None
-        # Simulation time when the current task's live stint began;
-        # None whenever the task is not actually consuming cycles.
-        self.run_started_at = None
-        self.quantum_event = None
-        self.tick_event = None
-        self.tick_count = 0
-        self.rt = RtAvgTracker(vcpu, kernel.sim)
-        # Stopper work (e.g. migration requests) run at next dispatch.
-        self.pending_work = []
-        self.in_sa_handler = False
-        self.busy_ns = 0
-        # Guest CPU hotplug state: offline CPUs take no tasks and are
-        # skipped by balancing and by the IRS migrator (Algorithm 2
-        # iterates *online* vCPUs).
-        self.online = True
-
-    @property
-    def is_guest_idle(self):
-        """Idle from the *guest's* point of view: nothing current and
-        nothing queued. Says nothing about the hypervisor runstate."""
-        return self.current is None and self.rq.nr_ready == 0
-
-    def load_metric(self):
-        """Busyness for placement decisions: decayed busy+steal fraction
-        plus live task count."""
-        return (self.rt.update() + self.rq.nr_ready +
-                (1 if self.current is not None else 0))
-
-    def __repr__(self):
-        cur = self.current.name if self.current else 'idle'
-        return '<GuestCpu %s cur=%s ready=%d>' % (
-            self.name, cur, self.rq.nr_ready)
+from .cpumask import CpuHotplug
+from .gcpu import GuestCpu
+from .interp import ActionInterpreter
+from .syncobjects import SyncEngine
+from .task import (TASK_EXITED, TASK_MIGRATING, TASK_READY, TASK_RUNNING,
+                   TASK_SLEEPING, Task)
+from .timers import TickDriver, TimerService
 
 
 class GuestKernel:
@@ -94,16 +47,47 @@ class GuestKernel:
             self.gcpus.append(gcpu)
         self.balancer = GuestBalancer(self, self.policy)
         self.timers = TimerService(sim, self)
+        self.ticks = TickDriver(self)
+        self.sync = SyncEngine(self)
+        self.interp = ActionInterpreter(self)
+        self.hotplug = CpuHotplug(self)
         self.tasks = []
-        # IRS receiver, installed by repro.core.install_irs.
-        self.sa_receiver = None
-        # Pull-based IRS (Section 6 future work), installed by
-        # repro.core.pull_irs.install_pull_irs.
-        self.pull_migrator = None
-        # Delay-preemption manager (Uhlig et al. baseline), installed
-        # by repro.hypervisor.delayed_preempt.install_delayed_preemption.
-        self.delay_preempt = None
+        # Optional components, wired via the attach points below.
+        self.sa_receiver = None      # IRS receiver (repro.core)
+        self.pull_migrator = None    # pull-based IRS (repro.core.pull_irs)
+        self.delay_preempt = None    # delay-preemption baseline
         vm.attach_guest(self)
+
+    # ==================================================================
+    # Typed attach points (no setattr wiring from other layers)
+    # ==================================================================
+
+    def attach_sa_receiver(self, receiver, wake_rule=None):
+        """Install the guest half of IRS: ``receiver`` handles
+        ``VIRQ_SA_UPCALL`` and the VM advertises itself IRS-capable to
+        the hypervisor. ``wake_rule`` (when not None) sets the
+        balancer's tagged-wakeup preemption rule (Figure 4)."""
+        self.sa_receiver = receiver
+        self.vm.irs_capable = True
+        if wake_rule is not None:
+            self.balancer.irs_wake_rule = wake_rule
+        return receiver
+
+    def attach_pull_migrator(self, migrator):
+        """Install pull-based IRS; idle polls are armed here because
+        already-idle vCPUs never pass through the kernel's idle path."""
+        self.pull_migrator = migrator
+        for gcpu in self.gcpus:
+            if gcpu.is_guest_idle:
+                migrator.on_idle(gcpu)
+        return migrator
+
+    def attach_delay_preempt(self, manager):
+        """Install the delay-preemption manager (Uhlig et al.
+        baseline); the sync engine brackets critical sections with its
+        ``lock_acquired``/``lock_released`` notifications."""
+        self.delay_preempt = manager
+        return manager
 
     # ==================================================================
     # Task lifecycle
@@ -189,7 +173,7 @@ class GuestKernel:
             work()
         if gcpu.current is not None:
             gcpu.run_started_at = self.sim.now
-            self._arm_tick(gcpu)
+            self.ticks.arm_tick(gcpu)
             self._run_current(gcpu)
         else:
             self._schedule(gcpu)
@@ -198,8 +182,8 @@ class GuestKernel:
         """Our vCPU lost its pCPU: checkpoint and freeze."""
         gcpu = vcpu.gcpu
         self._checkpoint(gcpu)
-        self._cancel_quantum(gcpu)
-        self._cancel_tick(gcpu)
+        self.ticks.cancel_quantum(gcpu)
+        self.ticks.cancel_tick(gcpu)
         gcpu.run_started_at = None
 
     def deliver_virq(self, vcpu, virq):
@@ -234,12 +218,12 @@ class GuestKernel:
             next_task.started_at = self.sim.now
         gcpu.current = next_task
         gcpu.run_started_at = self.sim.now
-        self._arm_tick(gcpu)
+        self.ticks.arm_tick(gcpu)
         self._run_current(gcpu)
 
     def _go_idle(self, gcpu):
         """Nothing to run: block the vCPU at the hypervisor."""
-        self._cancel_tick(gcpu)
+        self.ticks.cancel_tick(gcpu)
         gcpu.run_started_at = None
         if self.pull_migrator is not None:
             self.pull_migrator.on_idle(gcpu)
@@ -247,46 +231,13 @@ class GuestKernel:
 
     def _run_current(self, gcpu):
         """Drive the current task until it computes, spins, blocks,
-        exits, or loses the CPU."""
-        guard = 0
-        while True:
-            task = gcpu.current
-            if task is None or gcpu.run_started_at is None:
-                return
-            if task.spinning:
-                self.machine.notify_spin_start(gcpu.vcpu)
-                return
-            action = task.action
-            if action is None:
-                action = task.next_action(task.mailbox)
-                task.mailbox = None
-                if action is None:
-                    self._exit_current(gcpu)
-                    return
-                task.action = action
-                if isinstance(action, act.Compute):
-                    task.remaining_ns = action.duration_ns
-            if isinstance(action, act.Compute):
-                if task.remaining_ns <= 0:
-                    task.action = None
-                    continue
-                self._arm_quantum(gcpu)
-                return
-            guard += 1
-            if guard > _MAX_ZERO_TIME_ACTIONS:
-                raise RuntimeError(
-                    '%s chained %d zero-time actions; add Compute steps'
-                    % (task.name, guard))
-            if not self._do_oneshot(gcpu, task, action):
-                return
-            if gcpu.current is not task:
-                # A wakeup we triggered preempted us.
-                return
+        exits, or loses the CPU (the interpreter's run loop)."""
+        self.interp.run(gcpu)
 
     def _exit_current(self, gcpu):
         task = gcpu.current
         self._checkpoint(gcpu)
-        self._cancel_quantum(gcpu)
+        self.ticks.cancel_quantum(gcpu)
         task.state = TASK_EXITED
         task.finished_at = self.sim.now
         gcpu.current = None
@@ -301,7 +252,7 @@ class GuestKernel:
         if task is None:
             return
         self._checkpoint(gcpu)
-        self._cancel_quantum(gcpu)
+        self.ticks.cancel_quantum(gcpu)
         if task.spinning:
             self.machine.notify_spin_stop(gcpu.vcpu)
         task.state = TASK_READY
@@ -314,193 +265,11 @@ class GuestKernel:
         """Current task sleeps (lock/barrier/queue/timer wait)."""
         task = gcpu.current
         self._checkpoint(gcpu)
-        self._cancel_quantum(gcpu)
+        self.ticks.cancel_quantum(gcpu)
         task.state = TASK_SLEEPING
         task.last_descheduled = self.sim.now
         gcpu.current = None
         self._schedule(gcpu)
-
-    # ==================================================================
-    # One-shot action interpretation
-    # ==================================================================
-
-    def _do_oneshot(self, gcpu, task, action):
-        """Execute a zero-time action. Returns True when the task can
-        continue executing (action consumed)."""
-        if isinstance(action, act.Acquire):
-            return self._do_acquire(gcpu, task, action.lock)
-        if isinstance(action, act.Release):
-            task.action = None
-            self._do_release(gcpu, task, action.lock)
-            return True
-        if isinstance(action, (act.AcquireRead, act.AcquireWrite)):
-            return self._do_rw_acquire(gcpu, task, action)
-        if isinstance(action, (act.ReleaseRead, act.ReleaseWrite)):
-            task.action = None
-            self._do_rw_release(gcpu, task, action)
-            return True
-        if isinstance(action, act.BarrierWait):
-            return self._do_barrier(gcpu, task, action.barrier)
-        if isinstance(action, act.QueuePut):
-            return self._do_queue_put(gcpu, task, action)
-        if isinstance(action, act.QueueGet):
-            return self._do_queue_get(gcpu, task, action.queue)
-        if isinstance(action, act.Sleep):
-            # The sleep is complete once the timer fires; clear the
-            # action now so the wakeup resumes at the next one.
-            task.action = None
-            self.timers.arm_sleep(task, action.duration_ns)
-            self._block_current(gcpu)
-            return False
-        if isinstance(action, act.Mark):
-            task.action = None
-            action.callback(task, self.sim.now)
-            return True
-        if isinstance(action, act.YieldCpu):
-            task.action = None
-            if gcpu.rq.nr_ready == 0:
-                return True
-            self._preempt_current(gcpu)
-            return False
-        raise TypeError('unknown action %r' % (action,))
-
-    def _do_acquire(self, gcpu, task, lock):
-        if isinstance(lock, sync.SpinLock):
-            status = lock.acquire(task)
-            if status == sync.ACQUIRED:
-                task.action = None
-                self._notify_lock_acquired(gcpu)
-                return True
-            task.spinning = True
-            self.machine.notify_spin_start(gcpu.vcpu)
-            self.sim.trace.count('guest.spin_waits')
-            return False
-        status = lock.acquire(task)
-        if status == sync.ACQUIRED:
-            task.action = None
-            self._notify_lock_acquired(gcpu)
-            return True
-        self.sim.trace.count('guest.block_waits')
-        self._block_current(gcpu)
-        return False
-
-    def _do_rw_acquire(self, gcpu, task, action):
-        if isinstance(action, act.AcquireRead):
-            status = action.lock.acquire_read(task)
-        else:
-            status = action.lock.acquire_write(task)
-        if status == sync.ACQUIRED:
-            task.action = None
-            self._notify_lock_acquired(gcpu)
-            return True
-        self.sim.trace.count('guest.block_waits')
-        self._block_current(gcpu)
-        return False
-
-    def _do_rw_release(self, gcpu, task, action):
-        self._notify_lock_released(gcpu)
-        if isinstance(action, act.ReleaseRead):
-            woken = action.lock.release_read(task)
-        else:
-            woken = action.lock.release_write(task)
-        for other in woken:
-            other.action = None
-            self._notify_grantee_lock(other)
-            self.wake_task(other)
-
-    def _notify_lock_acquired(self, gcpu):
-        if self.delay_preempt is not None:
-            self.delay_preempt.lock_acquired(gcpu.current)
-
-    def _notify_lock_released(self, gcpu):
-        if self.delay_preempt is not None:
-            self.delay_preempt.lock_released(gcpu.current)
-
-    def _do_release(self, gcpu, task, lock):
-        self._notify_lock_released(gcpu)
-        if isinstance(lock, sync.SpinLock):
-            grantee = lock.release(task, self._actively_spinning)
-            if grantee is not None:
-                self._grant_spin(grantee)
-                self._notify_grantee_lock(grantee)
-        else:
-            new_owner = lock.release(task)
-            if new_owner is not None:
-                new_owner.action = None
-                self._notify_grantee_lock(new_owner)
-                self.wake_task(new_owner)
-
-    def _notify_grantee_lock(self, grantee):
-        """Lock ownership passed directly to a waiter: it is now in a
-        critical section wherever it runs."""
-        if self.delay_preempt is not None:
-            self.delay_preempt.lock_acquired(grantee)
-
-    def _actively_spinning(self, task):
-        """Predicate for unfair spinlocks: is this spinner's pause loop
-        actually executing right now?"""
-        gcpu = task.gcpu
-        return (gcpu is not None and gcpu.current is task and
-                gcpu.run_started_at is not None)
-
-    def _grant_spin(self, grantee):
-        """A spinner won a lock: stop the pause loop and continue."""
-        grantee.spinning = False
-        grantee.action = None
-        gcpu = grantee.gcpu
-        if gcpu.current is grantee and gcpu.run_started_at is not None:
-            self.machine.notify_spin_stop(gcpu.vcpu)
-            self._run_current(gcpu)
-        # Otherwise the grantee's vCPU is preempted: it now *holds* the
-        # lock while frozen — lock-waiter turned lock-holder preemption.
-
-    def _do_barrier(self, gcpu, task, barrier):
-        status, released = barrier.wait(task)
-        if status == sync.PASS:
-            task.action = None
-            for other in released:
-                if barrier.mode == 'block':
-                    other.action = None
-                    self.wake_task(other)
-                else:
-                    self._grant_spin(other)
-            return True
-        if status == sync.WAIT:
-            self.sim.trace.count('guest.block_waits')
-            self._block_current(gcpu)
-            return False
-        # status == SPIN
-        task.spinning = True
-        self.machine.notify_spin_start(gcpu.vcpu)
-        self.sim.trace.count('guest.spin_waits')
-        return False
-
-    def _do_queue_put(self, gcpu, task, action):
-        status, consumer = action.queue.put(task, action.item)
-        if status == sync.PASS:
-            task.action = None
-            if consumer is not None:
-                consumer.action = None
-                self.wake_task(consumer)
-            return True
-        self._block_current(gcpu)
-        return False
-
-    def _do_queue_get(self, gcpu, task, queue):
-        status, item, producer = queue.get(task)
-        if status == sync.PASS:
-            task.action = None
-            task.mailbox = item
-            if producer is not None:
-                producer.action = None
-                self.wake_task(producer)
-            return True
-        self._block_current(gcpu)
-        return False
-
-    # ==================================================================
-    # Time accounting and periodic machinery
-    # ==================================================================
 
     def _checkpoint(self, gcpu):
         """Charge the open execution interval to the current task."""
@@ -516,124 +285,16 @@ class GuestKernel:
         gcpu.run_started_at = self.sim.now
         gcpu.rq.update_min_vruntime(task)
 
-    def _arm_quantum(self, gcpu):
-        self._cancel_quantum(gcpu)
-        task = gcpu.current
-        gcpu.quantum_event = self.sim.after(
-            task.remaining_ns, self._on_quantum, gcpu)
-
-    def _cancel_quantum(self, gcpu):
-        if gcpu.quantum_event is not None:
-            gcpu.quantum_event.cancel()
-            gcpu.quantum_event = None
-
-    def _on_quantum(self, gcpu):
-        gcpu.quantum_event = None
-        if gcpu.run_started_at is None or not gcpu.vcpu.is_running:
-            return
-        self._checkpoint(gcpu)
-        task = gcpu.current
-        if task is not None and isinstance(task.action, act.Compute) \
-                and task.remaining_ns <= 0:
-            task.action = None
-        self._run_current(gcpu)
-
-    def _arm_tick(self, gcpu):
-        if gcpu.tick_event is None or not gcpu.tick_event.pending:
-            gcpu.tick_event = self.sim.after(
-                self.policy.config.tick_ns, self._on_tick, gcpu)
-
-    def _cancel_tick(self, gcpu):
-        if gcpu.tick_event is not None:
-            gcpu.tick_event.cancel()
-            gcpu.tick_event = None
-
-    def _on_tick(self, gcpu):
-        """Guest timer tick: accounting, balancing, CFS preemption."""
-        gcpu.tick_event = None
-        if not gcpu.vcpu.is_running or gcpu.in_sa_handler:
-            return
-        gcpu.tick_count += 1
-        self._arm_tick(gcpu)
-        gcpu.rt.update()
-        task = gcpu.current
-        if task is None:
-            return
-        self._checkpoint(gcpu)
-        if gcpu.tick_count % self.policy.config.balance_interval_ticks == 0:
-            self.balancer.periodic_balance(gcpu, self.sim.now)
-            if gcpu.rq.nr_ready > 0:
-                self._nohz_kick(gcpu)
-        if gcpu.current is task and self.policy.should_resched_at_tick(
-                task, gcpu.rq):
-            self._preempt_current(gcpu)
-
-    def _nohz_kick(self, busy_gcpu):
-        """NOHZ idle balancing: a busy CPU with queued work kicks one
-        guest-idle sibling so it can wake up and pull (Linux's
-        ``nohz_balancer_kick``). Without this, a vCPU idled by an IRS
-        evacuation — or by ordinary blocking — would never reclaim
-        work, because idle CPUs take no ticks."""
-        for gcpu in self.gcpus:
-            if gcpu is busy_gcpu or not gcpu.online:
-                continue
-            if not gcpu.is_guest_idle:
-                continue
-            if gcpu.vcpu.is_blocked:
-                self.sim.trace.count('guest.nohz_kicks')
-                self.machine.wake_vcpu(gcpu.vcpu)
-                return
-
-    # ==================================================================
-    # CPU hotplug
-    # ==================================================================
+    # CPU hotplug (delegates to the CpuHotplug engine).
 
     def offline_gcpu(self, index):
-        """Take a guest CPU offline: its tasks are migrated to the
-        remaining online CPUs and the vCPU is parked (like Linux
-        ``echo 0 > /sys/devices/system/cpu/cpuN/online``)."""
-        gcpu = self.gcpus[index]
-        if not gcpu.online:
-            return
-        survivors = [g for g in self.gcpus if g is not gcpu and g.online]
-        if not survivors:
-            raise RuntimeError('cannot offline the last online CPU')
-        gcpu.online = False
-        self.sim.trace.count('guest.cpu_offline')
-        # Evacuate queued tasks.
-        for i, task in enumerate(gcpu.rq.tasks()):
-            self.pull_task(task, survivors[i % len(survivors)])
-        # Evacuate the current task (stop-machine style: we may do it
-        # directly because the vCPU is under our control).
-        task = gcpu.current
-        if task is not None:
-            self._checkpoint(gcpu)
-            self._cancel_quantum(gcpu)
-            if task.spinning:
-                self.machine.notify_spin_stop(gcpu.vcpu)
-            task.state = TASK_READY
-            task.last_descheduled = self.sim.now
-            gcpu.current = None
-            gcpu.rq.enqueue(task)
-            self.pull_task(task, survivors[0])
-            target = survivors[0]
-            if target.vcpu.is_blocked:
-                self.machine.wake_vcpu(target.vcpu)
-        # Park the vCPU if it is running.
-        if gcpu.vcpu.is_running:
-            self._go_idle(gcpu)
+        self.hotplug.offline(index)
 
     def online_gcpu(self, index):
-        """Bring a guest CPU back online; balancing will repopulate it
-        (NOHZ kicks / periodic pulls)."""
-        gcpu = self.gcpus[index]
-        if gcpu.online:
-            return
-        gcpu.online = True
-        self.sim.trace.count('guest.cpu_online')
+        self.hotplug.online(index)
 
     def online_gcpus(self):
-        return [g for g in self.gcpus if g.online]
+        return self.hotplug.online_gcpus()
 
     # ==================================================================
     # IRS hooks (used by repro.core)
@@ -643,7 +304,7 @@ class GuestKernel:
         """SA upcall arrived: pause the current task's accounting while
         the handler runs (handler time is kernel time)."""
         self._checkpoint(gcpu)
-        self._cancel_quantum(gcpu)
+        self.ticks.cancel_quantum(gcpu)
         if gcpu.current is not None and gcpu.current.spinning:
             self.machine.notify_spin_stop(gcpu.vcpu)
         gcpu.run_started_at = None
@@ -675,10 +336,6 @@ class GuestKernel:
         self.sim.trace.count('irs.migrations')
         return self.wake_task(task, target=target_gcpu,
                               preempt_in_place=preempt_in_place)
-
-    # ==================================================================
-    # Introspection helpers
-    # ==================================================================
 
     def total_busy_ns(self):
         """CPU time consumed by this VM's tasks (open stints included)."""

@@ -1,11 +1,20 @@
-"""Guest timer service.
+"""Guest timer services.
 
-Sleep timers are backed by hypervisor one-shot timers (a paravirtual
-guest programs the hypervisor's timer and gets an event-channel kick),
-so a timer can wake a task whose VM has every vCPU blocked. The wakeup
-then flows through the ordinary ``wake_task`` path, including wake
-balancing.
+:class:`TimerService` backs task sleeps with hypervisor one-shot timers
+(a paravirtual guest programs the hypervisor's timer and gets an
+event-channel kick), so a timer can wake a task whose VM has every vCPU
+blocked. The wakeup then flows through the ordinary ``wake_task`` path,
+including wake balancing.
+
+:class:`TickDriver` owns the per-gCPU periodic machinery: the compute
+quantum (the one-shot that fires when the current compute segment
+drains), the scheduler tick (accounting, periodic balancing, CFS
+preemption), and the NOHZ idle kick. Ticks freeze with the vCPU — when
+the hypervisor deschedules it, the guest's timers simply stop, which is
+the semantic gap IRS exists to bridge.
 """
+
+from ..workloads import actions as act
 
 
 class TimerService:
@@ -36,3 +45,91 @@ class TimerService:
     def pending(self):
         """Number of armed timers."""
         return len(self._armed)
+
+
+class TickDriver:
+    """Quantum, scheduler-tick and NOHZ-kick machinery of one kernel."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.sim = kernel.sim
+
+    # ------------------------------------------------------------------
+    # Compute quantum (fires when the running segment drains)
+    # ------------------------------------------------------------------
+
+    def arm_quantum(self, gcpu):
+        self.cancel_quantum(gcpu)
+        task = gcpu.current
+        gcpu.quantum_event = self.sim.after(
+            task.remaining_ns, self._on_quantum, gcpu)
+
+    def cancel_quantum(self, gcpu):
+        if gcpu.quantum_event is not None:
+            gcpu.quantum_event.cancel()
+            gcpu.quantum_event = None
+
+    def _on_quantum(self, gcpu):
+        gcpu.quantum_event = None
+        if gcpu.run_started_at is None or not gcpu.vcpu.is_running:
+            return
+        kernel = self.kernel
+        kernel._checkpoint(gcpu)
+        task = gcpu.current
+        if task is not None and isinstance(task.action, act.Compute) \
+                and task.remaining_ns <= 0:
+            task.action = None
+        kernel._run_current(gcpu)
+
+    # ------------------------------------------------------------------
+    # Scheduler tick
+    # ------------------------------------------------------------------
+
+    def arm_tick(self, gcpu):
+        if gcpu.tick_event is None or not gcpu.tick_event.pending:
+            gcpu.tick_event = self.sim.after(
+                self.kernel.policy.config.tick_ns, self._on_tick, gcpu)
+
+    def cancel_tick(self, gcpu):
+        if gcpu.tick_event is not None:
+            gcpu.tick_event.cancel()
+            gcpu.tick_event = None
+
+    def _on_tick(self, gcpu):
+        """Guest timer tick: accounting, balancing, CFS preemption."""
+        gcpu.tick_event = None
+        if not gcpu.vcpu.is_running or gcpu.in_sa_handler:
+            return
+        kernel = self.kernel
+        gcpu.tick_count += 1
+        self.arm_tick(gcpu)
+        gcpu.rt.update()
+        task = gcpu.current
+        if task is None:
+            return
+        kernel._checkpoint(gcpu)
+        interval = kernel.policy.config.balance_interval_ticks
+        if gcpu.tick_count % interval == 0:
+            kernel.balancer.periodic_balance(gcpu, self.sim.now)
+            if gcpu.rq.nr_ready > 0:
+                self.nohz_kick(gcpu)
+        if gcpu.current is task and kernel.policy.should_resched_at_tick(
+                task, gcpu.rq):
+            kernel._preempt_current(gcpu)
+
+    def nohz_kick(self, busy_gcpu):
+        """NOHZ idle balancing: a busy CPU with queued work kicks one
+        guest-idle sibling so it can wake up and pull (Linux's
+        ``nohz_balancer_kick``). Without this, a vCPU idled by an IRS
+        evacuation — or by ordinary blocking — would never reclaim
+        work, because idle CPUs take no ticks."""
+        kernel = self.kernel
+        for gcpu in kernel.gcpus:
+            if gcpu is busy_gcpu or not gcpu.online:
+                continue
+            if not gcpu.is_guest_idle:
+                continue
+            if gcpu.vcpu.is_blocked:
+                self.sim.trace.count('guest.nohz_kicks')
+                kernel.machine.wake_vcpu(gcpu.vcpu)
+                return

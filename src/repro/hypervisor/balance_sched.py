@@ -80,10 +80,15 @@ class BalanceScheduler:
 
 
 def enable_balance_scheduling(machine):
-    """Wrap the machine's (required) hypervisor balancer with the
-    sibling-spreading constraint. Returns the wrapper."""
-    if machine.hv_balancer is None:
-        machine.enable_unpinned_balancing()
-    wrapper = BalanceScheduler(machine, machine.hv_balancer)
-    machine.hv_balancer = wrapper
-    return wrapper
+    """Deprecated: use
+    ``attach_strategies(StrategyDescriptor(balance_sched=True))``."""
+    import warnings
+
+    from .machine import StrategyDescriptor
+
+    warnings.warn(
+        'enable_balance_scheduling is deprecated; use '
+        'attach_strategies(StrategyDescriptor(balance_sched=True))',
+        DeprecationWarning, stacklevel=2)
+    machine.attach_strategies(StrategyDescriptor(balance_sched=True))
+    return machine.hv_balancer

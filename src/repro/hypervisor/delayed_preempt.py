@@ -118,8 +118,8 @@ def install_delayed_preemption(machine, kernels, window_ns=None,
         kwargs['window_ns'] = window_ns
     if max_extension_ns is not None:
         kwargs['max_extension_ns'] = max_extension_ns
-    manager = DelayedPreemption(machine.sim, machine, **kwargs)
-    machine.delay_preempt = manager
+    manager = machine.attach_delay_preempt(
+        DelayedPreemption(machine.sim, machine, **kwargs))
     for kernel in kernels:
-        kernel.delay_preempt = manager
+        kernel.attach_delay_preempt(manager)
     return manager

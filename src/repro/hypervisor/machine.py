@@ -10,9 +10,13 @@ IRS — is selected by which optional components are attached:
 * ``hv_balancer`` — the VM-oblivious vCPU balancer (unpinned mode).
 """
 
+import warnings
+
+from .balance_sched import BalanceScheduler
 from .balancer import HypervisorBalancer
 from .channels import EventChannels
 from .credit import CreditConfig, CreditScheduler
+from .delayed_preempt import DelayedPreemption
 from .hypercalls import HypercallInterface
 from .pcpu import PCpu
 from .ple import PleMonitor
@@ -23,18 +27,25 @@ class StrategyDescriptor:
     """Declarative description of a machine's strategy attachments.
 
     One value object covers every optional component a host can carry,
-    so cluster hosts (``repro.cluster``) can be configured from a
-    :class:`HostSpec` without per-strategy call sites. ``None`` for a
+    so cluster hosts (``repro.cluster``) and the experiment layer can
+    compose strategies without per-strategy call sites. ``None`` for a
     window/threshold means the component's default."""
 
     def __init__(self, ple=False, ple_window_ns=None,
                  relaxed_co=False, relaxed_co_skew_ns=None,
-                 unpinned=False, sa_sender=None, fault_injector=None):
+                 unpinned=False, balance_sched=False,
+                 delay_preempt=False, dp_window_ns=None,
+                 dp_max_extension_ns=None,
+                 sa_sender=None, fault_injector=None):
         self.ple = ple
         self.ple_window_ns = ple_window_ns
         self.relaxed_co = relaxed_co
         self.relaxed_co_skew_ns = relaxed_co_skew_ns
         self.unpinned = unpinned
+        self.balance_sched = balance_sched
+        self.delay_preempt = delay_preempt
+        self.dp_window_ns = dp_window_ns
+        self.dp_max_extension_ns = dp_max_extension_ns
         self.sa_sender = sa_sender
         self.fault_injector = fault_injector
 
@@ -46,6 +57,10 @@ class StrategyDescriptor:
             parts.append('relaxed_co')
         if self.unpinned:
             parts.append('unpinned')
+        if self.balance_sched:
+            parts.append('balance_sched')
+        if self.delay_preempt:
+            parts.append('delay_preempt')
         if self.sa_sender is not None:
             parts.append('sa_sender')
         if self.fault_injector is not None:
@@ -102,22 +117,49 @@ class Machine:
                 self.relaxed_co = RelaxedCoScheduler(
                     self.sim, self,
                     skew_threshold_ns=descriptor.relaxed_co_skew_ns)
-        if descriptor.unpinned:
-            self.hv_balancer = HypervisorBalancer(self)
+        if descriptor.unpinned or descriptor.balance_sched:
+            if self.hv_balancer is None:
+                self.hv_balancer = HypervisorBalancer(self)
+        if descriptor.balance_sched:
+            if not isinstance(self.hv_balancer, BalanceScheduler):
+                self.hv_balancer = BalanceScheduler(self, self.hv_balancer)
+        if descriptor.delay_preempt:
+            kwargs = {}
+            if descriptor.dp_window_ns is not None:
+                kwargs['window_ns'] = descriptor.dp_window_ns
+            if descriptor.dp_max_extension_ns is not None:
+                kwargs['max_extension_ns'] = descriptor.dp_max_extension_ns
+            self.attach_delay_preempt(
+                DelayedPreemption(self.sim, self, **kwargs))
         if descriptor.sa_sender is not None:
             self.sa_sender = descriptor.sa_sender
         if descriptor.fault_injector is not None:
             self.fault_injector = descriptor.fault_injector
         return self
 
+    def attach_delay_preempt(self, manager):
+        """Attach the delayed-preemption manager (the hypervisor half;
+        guests opt in via ``GuestKernel.attach_delay_preempt``)."""
+        self.delay_preempt = manager
+        return manager
+
     def enable_ple(self, window_ns=None):
-        """Attach the PLE spin detector (HVM-style runs)."""
+        """Deprecated: use ``attach_strategies(StrategyDescriptor(ple=True))``."""
+        warnings.warn(
+            'Machine.enable_ple is deprecated; use '
+            'attach_strategies(StrategyDescriptor(ple=True, ...))',
+            DeprecationWarning, stacklevel=2)
         self.attach_strategies(
             StrategyDescriptor(ple=True, ple_window_ns=window_ns))
         return self.ple
 
     def enable_relaxed_co(self, skew_threshold_ns=None):
-        """Attach the relaxed co-scheduling monitor."""
+        """Deprecated: use
+        ``attach_strategies(StrategyDescriptor(relaxed_co=True))``."""
+        warnings.warn(
+            'Machine.enable_relaxed_co is deprecated; use '
+            'attach_strategies(StrategyDescriptor(relaxed_co=True, ...))',
+            DeprecationWarning, stacklevel=2)
         self.attach_strategies(StrategyDescriptor(
             relaxed_co=True, relaxed_co_skew_ns=skew_threshold_ns))
         return self.relaxed_co

@@ -59,6 +59,11 @@ class VCpu:
         # Event-channel state.
         self.pending_virqs = []
         self.sa_pending = False
+        # Explicit SA protocol state machine (repro.core.protocol);
+        # created by the sender on the first activation offer. Lives
+        # here so the sanitizer and the fault plane can read the round
+        # state without importing the core layer.
+        self.sa_protocol = None
         # SA offers targeted at this vCPU (per-VM notification rate for
         # cluster interference profiling; the sender's totals are
         # host-wide).

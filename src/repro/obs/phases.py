@@ -52,6 +52,18 @@ SA_PHASES = (
 
 ALL_PHASES = SA_PHASES + (PHASE_DP_DEFER,)
 
+#: Which span phase is open while an SA round sits in each (non-idle)
+#: state of the per-vCPU protocol machine (``repro.core.protocol``).
+#: Keyed by state *name* — this layer sits below core, so the names are
+#: mirrored here as strings and a test asserts they match the enum.
+SA_STATE_PHASES = {
+    'notified': PHASE_VIRQ,        # upcall travelling to the guest
+    'switching': PHASE_UPCALL,     # guest handler running
+    'limbo': PHASE_ACK,            # ack (and any limbo task) in flight
+    'acked': PHASE_PREEMPT_FIRE,   # parked preemption completing
+    'migrated': PHASE_MIGRATE,     # round closed by a completed move
+}
+
 #: One-line meaning per phase (report/doc rendering).
 PHASE_DESCRIPTIONS = {
     PHASE_OFFER: 'offer -> guest acknowledgement (the preemption delay)',

@@ -14,6 +14,17 @@ two-level scheduler:
 * credits are conserved within the scheduler's clip band
   ``[-credit_cap, credit_cap]``.
 
+vCPUs that carry an SA protocol object (``vcpu.sa_protocol``, created
+by the IRS sender — see ``repro.core.protocol``) get three more:
+
+* every protocol edge taken was legal ("sa_legal_transitions" — the
+  state machine records illegal attempts instead of raising);
+* the per-vCPU flags agree with the protocol state: the guest is inside
+  the upcall handler iff the round is SWITCHING, a NOTIFIED offer
+  implies ``sa_pending``, and a completed handshake (ACKED) implies it
+  was cleared ("sa_flag_consistency");
+* only IRS-capable VMs ever leave the idle state ("sa_capability").
+
 When a cluster is attached (``attach_cluster``, called by
 ``Cluster.__init__``), three cluster-level invariants join the list:
 
@@ -48,6 +59,10 @@ test can assert on the whole report.
 from .simulation import SimulationError
 
 _TASK_STATES = ('running', 'ready', 'sleeping', 'migrating', 'exited')
+# SA protocol states with an open activation round (mirrors
+# ``repro.core.protocol.SA_ACTIVE_STATES``; duck-typed by name because
+# the sanitizer sits below the core layer).
+_SA_ACTIVE_STATES = ('notified', 'switching', 'limbo')
 
 
 class Violation:
@@ -94,6 +109,10 @@ class Sanitizer:
         self.clusters = []
         self.violations = []
         self.checks = 0
+        # id(protocol) -> illegal-transition count already reported, so
+        # each illegal SA edge is attributed to the first check after
+        # the event that took it (not re-reported forever).
+        self._sa_illegal_seen = {}
         self._countdown = interval
         self._last_now = sim.now
         self._hook = sim.add_post_event_hook(self._on_event)
@@ -191,6 +210,9 @@ class Sanitizer:
                     self._fail('credit_conservation',
                                '%s credits %d outside [-%d, %d]'
                                % (vcpu.name, vcpu.credits, cap, cap), event)
+                proto = getattr(vcpu, 'sa_protocol', None)
+                if proto is not None:
+                    self._check_sa_protocol(vcpu, proto, event)
             if vm.guest is not None:
                 self._check_guest(vm.guest, event)
 
@@ -224,6 +246,46 @@ class Sanitizer:
                                '%s present in two places'
                                % vcpu.name, event)
                 seen.add(id(vcpu))
+
+    def _check_sa_protocol(self, vcpu, proto, event):
+        """SA state-machine invariants (repro.core.protocol), checked
+        between events so intra-event multi-edge sequences (upcall ->
+        deschedule -> ack in one bottom half) are allowed to settle."""
+        seen = self._sa_illegal_seen.get(id(proto), 0)
+        if len(proto.illegal) > seen:
+            self._sa_illegal_seen[id(proto)] = len(proto.illegal)
+            bad = proto.illegal[-1]
+            self._fail('sa_legal_transitions',
+                       '%s attempted illegal SA edge %r in state %r '
+                       '(round %d)' % (vcpu.name, bad.edge, bad.state,
+                                       proto.round), event)
+        state = proto.state
+        gcpu = vcpu.gcpu
+        in_handler = gcpu is not None and gcpu.in_sa_handler
+        if in_handler != (state == 'switching'):
+            self._fail('sa_flag_consistency',
+                       '%s in_sa_handler=%s but SA state is %r (the '
+                       'upcall-handler window must coincide with '
+                       'SWITCHING)' % (vcpu.name, in_handler, state), event)
+        # sa_pending is the *sender's* round flag; a lost ack can keep
+        # it set after the guest/migrator closed the round, so only the
+        # sharp directions are checkable: an offer in flight implies
+        # the flag, a completed handshake implies its absence.
+        if state == 'notified' and not vcpu.sa_pending:
+            self._fail('sa_flag_consistency',
+                       '%s SA state is NOTIFIED but sa_pending is clear '
+                       '(offer in flight without the sender flag)'
+                       % vcpu.name, event)
+        if state == 'acked' and vcpu.sa_pending:
+            self._fail('sa_flag_consistency',
+                       '%s SA state is ACKED but sa_pending is still set '
+                       '(handshake completed without clearing the offer)'
+                       % vcpu.name, event)
+        if state != 'idle' and not vcpu.vm.irs_capable:
+            self._fail('sa_capability',
+                       '%s has SA state %r but %s is not IRS-capable '
+                       '(activation offered to a vanilla guest)'
+                       % (vcpu.name, state, vcpu.vm.name), event)
 
     def _check_guest(self, kernel, event):
         current_tasks = set()

@@ -16,6 +16,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import install_irs
 from repro.faults import FaultInjector, FaultSpec
+from repro.hypervisor import StrategyDescriptor
 from repro.simkernel import install_sanitizer
 from repro.guestos.task import (
     TASK_EXITED,
@@ -100,9 +101,9 @@ def build_random_scenario(seed, n_pcpus, strategy, sync_kind, n_hogs):
     if strategy == 'irs':
         install_irs(machine, [kernel])
     elif strategy == 'ple':
-        machine.enable_ple()
+        machine.attach_strategies(StrategyDescriptor(ple=True))
     elif strategy == 'relaxed_co':
-        machine.enable_relaxed_co()
+        machine.attach_strategies(StrategyDescriptor(relaxed_co=True))
 
     if sync_kind == 'mutex':
         lock = Mutex()

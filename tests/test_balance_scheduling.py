@@ -1,7 +1,7 @@
 """Tests for the balance-scheduling baseline (paper ref [30])."""
 
 from repro.experiments import InterferenceSpec, run_parallel
-from repro.hypervisor import Machine, VM, enable_balance_scheduling
+from repro.hypervisor import Machine, StrategyDescriptor, VM
 from repro.metrics import TimelineRecorder
 from repro.simkernel import Simulator
 from repro.simkernel.units import MS, SEC
@@ -16,8 +16,8 @@ class TestPlacementConstraint:
         vCPUs drops to (near) zero even unpinned."""
         sim = Simulator(seed=1)
         machine = Machine(sim, 4)
-        machine.enable_unpinned_balancing()
-        enable_balance_scheduling(machine)
+        machine.attach_strategies(
+            StrategyDescriptor(unpinned=True, balance_sched=True))
         vm, kernel = build_vm(sim, machine, 'fg', n_vcpus=4)
         __, hk = build_vm(sim, machine, 'bg', n_vcpus=4)
         for i in range(4):

@@ -1,0 +1,73 @@
+"""Tests for the layering lint (``tools/check_layering.py``)."""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location(
+    'check_layering', REPO_ROOT / 'tools' / 'check_layering.py')
+check_layering = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_layering)
+
+
+class TestRepoIsLayered:
+    def test_no_upward_imports(self):
+        violations = check_layering.run(REPO_ROOT / 'src')
+        assert violations == []
+
+    def test_every_package_is_ranked(self):
+        packages = {p.name for p in (REPO_ROOT / 'src' / 'repro').iterdir()
+                    if p.is_dir() and (p / '__init__.py').exists()}
+        assert packages == set(check_layering.RANKS)
+
+
+class TestDetection:
+    def _lint(self, tmp_path, source, package='simkernel', name='mod.py'):
+        pkg = tmp_path / 'repro' / package
+        pkg.mkdir(parents=True)
+        (pkg / name).write_text(source)
+        return check_layering.run(tmp_path)
+
+    def test_upward_absolute_import_flagged(self, tmp_path):
+        violations = self._lint(tmp_path, 'from repro.core import x\n')
+        assert len(violations) == 1
+        assert 'upward import' in violations[0]
+
+    def test_upward_relative_import_flagged(self, tmp_path):
+        violations = self._lint(tmp_path, 'from ..cluster import host\n')
+        assert len(violations) == 1
+        assert 'upward import' in violations[0]
+
+    def test_upward_plain_import_flagged(self, tmp_path):
+        violations = self._lint(tmp_path, 'import repro.experiments.cli\n')
+        assert len(violations) == 1
+
+    def test_lazy_import_exempt(self, tmp_path):
+        violations = self._lint(tmp_path, (
+            'def build():\n'
+            '    from repro.cluster import Cluster\n'
+            '    return Cluster\n'))
+        assert violations == []
+
+    def test_downward_and_sibling_imports_clean(self, tmp_path):
+        violations = self._lint(tmp_path, (
+            'from repro.obs.phases import PHASE_VIRQ\n'
+            'from .units import MS\n'), package='simkernel')
+        assert violations == []
+
+    def test_equal_rank_pair_allowed_both_ways(self, tmp_path):
+        assert self._lint(tmp_path, 'from ..guestos import GuestKernel\n',
+                          package='hypervisor') == []
+        assert self._lint(tmp_path, 'from ..hypervisor import Machine\n',
+                          package='guestos') == []
+
+    def test_class_body_import_counts_as_module_level(self, tmp_path):
+        violations = self._lint(tmp_path, (
+            'class C:\n'
+            '    from repro.core import install_irs\n'))
+        assert len(violations) == 1
+
+    def test_unranked_package_flagged(self, tmp_path):
+        violations = self._lint(tmp_path, 'x = 1\n', package='newpkg')
+        assert len(violations) == 1
+        assert 'no layering rank' in violations[0]

@@ -1,6 +1,8 @@
 """Behavioural tests for the PLE and relaxed co-scheduling strategies."""
 
-from repro.hypervisor import Machine
+import pytest
+
+from repro.hypervisor import Machine, StrategyDescriptor
 from repro.simkernel import Simulator
 from repro.simkernel.units import MS, SEC, US
 from repro.workloads import Acquire, Compute, Release, SpinLock
@@ -21,7 +23,7 @@ class TestPle:
         sim = Simulator(seed=1)
         machine = Machine(sim, n_pcpus=2)
         if ple:
-            machine.enable_ple()
+            machine.attach_strategies(StrategyDescriptor(ple=True))
         vm, kernel = build_vm(sim, machine, 'par', n_vcpus=2,
                               pinning=[0, 1])
         __, hk = build_vm(sim, machine, 'hog', n_vcpus=1, pinning=[1])
@@ -68,7 +70,8 @@ class TestPle:
     def test_short_spin_does_not_trigger(self):
         sim = Simulator(seed=2)
         machine = Machine(sim, n_pcpus=1)
-        machine.enable_ple(window_ns=50 * US)
+        machine.attach_strategies(
+            StrategyDescriptor(ple=True, ple_window_ns=50 * US))
         vm, kernel = build_vm(sim, machine, 'par', pinning=[0])
         lock = SpinLock('l')
 
@@ -91,7 +94,8 @@ class TestRelaxedCo:
         sim = Simulator(seed=3)
         machine = Machine(sim, n_pcpus=2)
         if relaxed:
-            machine.enable_relaxed_co()
+            machine.attach_strategies(
+                StrategyDescriptor(relaxed_co=True))
         vm, kernel = build_vm(sim, machine, 'par', n_vcpus=2,
                               pinning=[0, 1])
         __, hk = build_vm(sim, machine, 'hog', n_vcpus=1, pinning=[1])
@@ -124,7 +128,7 @@ class TestRelaxedCo:
     def test_single_vcpu_vm_ignored(self):
         sim = Simulator(seed=4)
         machine = Machine(sim, n_pcpus=1)
-        machine.enable_relaxed_co()
+        machine.attach_strategies(StrategyDescriptor(relaxed_co=True))
         __, kernel = build_vm(sim, machine, 'uni', pinning=[0])
         __, hk = build_vm(sim, machine, 'hog', pinning=[0])
         kernel.spawn('w', hog())
@@ -132,3 +136,33 @@ class TestRelaxedCo:
         machine.start()
         sim.run_until(1 * SEC)
         assert sim.trace.counters['relaxedco.switches'] == 0
+
+
+class TestDeprecatedShims:
+    """The enable_* shims still work but route through the descriptor
+    API and announce their deprecation."""
+
+    def _machine(self):
+        sim = Simulator(seed=9)
+        return Machine(sim, n_pcpus=2)
+
+    def test_enable_ple_warns_and_attaches(self):
+        machine = self._machine()
+        with pytest.warns(DeprecationWarning):
+            monitor = machine.enable_ple()
+        assert machine.ple is monitor is not None
+
+    def test_enable_relaxed_co_warns_and_attaches(self):
+        machine = self._machine()
+        with pytest.warns(DeprecationWarning):
+            monitor = machine.enable_relaxed_co()
+        assert machine.relaxed_co is monitor is not None
+
+    def test_enable_balance_scheduling_warns_and_wraps(self):
+        from repro.hypervisor import enable_balance_scheduling
+        from repro.hypervisor.balance_sched import BalanceScheduler
+        machine = self._machine()
+        with pytest.warns(DeprecationWarning):
+            wrapper = enable_balance_scheduling(machine)
+        assert isinstance(wrapper, BalanceScheduler)
+        assert machine.hv_balancer is wrapper
