@@ -34,6 +34,7 @@ from repro.experiments.figures import (    # noqa: E402
     fig1a,
     fig10,
     sa_overhead,
+    traffic_slo,
 )
 
 FIGURES = {
@@ -42,6 +43,7 @@ FIGURES = {
     'sa_overhead': lambda: sa_overhead(quick=True),
     'cluster-consolidation': lambda: cluster_consolidation(quick=True),
     'cluster-resilience': lambda: cluster_resilience(quick=True),
+    'traffic-slo': lambda: traffic_slo(quick=True),
 }
 
 #: One-shot actions per iteration of the dispatch microbenchmark
@@ -93,6 +95,34 @@ def measure_dispatch(iterations=DISPATCH_ITERATIONS):
     }
 
 
+#: Samples and interleaved percentile queries for the latency
+#: microbenchmark — the record/query mix a live SLO tracker produces.
+PERCENTILE_SAMPLES = 100_000
+PERCENTILE_QUERY_EVERY = 1_000
+
+
+def measure_percentiles(samples=PERCENTILE_SAMPLES,
+                        query_every=PERCENTILE_QUERY_EVERY):
+    """Time :class:`repro.metrics.LatencyRecorder` under the serving
+    plane's access pattern: a long append stream with periodic p50/p99
+    queries (SLO snapshots), where the cached sorted view only pays for
+    re-sorting when the sample set actually changed."""
+    from repro.metrics import LatencyRecorder
+
+    rec = LatencyRecorder()
+    start = time.perf_counter()
+    for i in range(samples):
+        rec.record((i * 2654435761) % 1_000_000)
+        if i % query_every == 0:
+            rec.p50()
+            rec.p99()
+    wall = time.perf_counter() - start
+    return {
+        'percentiles_s': round(wall, 4),
+        'ns_per_sample': round(wall * 1e9 / samples, 1),
+    }
+
+
 def measure(jobs):
     results = {}
     for name, driver in FIGURES.items():
@@ -120,6 +150,8 @@ def measure(jobs):
         print(f'{name}: {entry}')
     results['action-dispatch'] = measure_dispatch()
     print(f"action-dispatch: {results['action-dispatch']}")
+    results['latency-percentiles'] = measure_percentiles()
+    print(f"latency-percentiles: {results['latency-percentiles']}")
     return results
 
 

@@ -37,7 +37,7 @@ def _run(slice_ms, strategy, seed=0):
     machine.start()
     server = SpecJbbWorkload(sim, kernel).install()
     sim.run_until(500 * MS)
-    server.latency.samples.clear()
+    server.latency.reset()
     server.completed = 0
     server.started_at = sim.now
     sim.run_until(sim.now + 3 * SEC)

@@ -8,14 +8,40 @@ declared ratio, and never queues (arrival processes in the evaluation
 are open-loop; a queued VM would just shift the rejection later).
 """
 
+#: Default rejection-ledger capacity. Rejections are low-rate control-
+#: plane outcomes, but an autoscaler probing a full cluster (or a chaos
+#: campaign crashing hosts under load) can grind one out per check
+#: period indefinitely — the ledger is a ring, like the event log, so
+#: a long run cannot grow it without bound.
+DEFAULT_MAX_REJECTIONS = 1024
+
 
 class AdmissionController:
-    """Capacity gate; also the rejection ledger."""
+    """Capacity gate; also the rejection ledger.
 
-    def __init__(self):
+    ``rejections`` holds the most recent ``max_rejections`` rejected
+    request names (oldest first); older entries are evicted and counted
+    in ``rejections_dropped`` — the same ring discipline as
+    :class:`~repro.obs.eventlog.EventLog`. ``rejected`` is the complete
+    count regardless of eviction.
+    """
+
+    def __init__(self, max_rejections=DEFAULT_MAX_REJECTIONS):
+        if max_rejections < 1:
+            raise ValueError('max_rejections must be >= 1')
         self.admitted = 0
         self.rejected = 0
-        self.rejections = []         # request names, in arrival order
+        self.max_rejections = max_rejections
+        self.rejections_dropped = 0
+        self._ring = []              # request names, in arrival order
+        self._head = 0               # ring start once wrapped
+
+    @property
+    def rejections(self):
+        """Retained rejected request names, oldest first."""
+        if self._head == 0:
+            return list(self._ring)
+        return self._ring[self._head:] + self._ring[:self._head]
 
     def admissible_hosts(self, hosts, request):
         """The subset of ``hosts`` (order preserved) that are accepting
@@ -29,5 +55,10 @@ class AdmissionController:
 
     def reject(self, request, sim):
         self.rejected += 1
-        self.rejections.append(request.name)
+        if len(self._ring) < self.max_rejections:
+            self._ring.append(request.name)
+        else:
+            self._ring[self._head] = request.name
+            self._head = (self._head + 1) % self.max_rejections
+            self.rejections_dropped += 1
         sim.trace.count('cluster.rejected')

@@ -30,21 +30,25 @@ from .recovery import ClusterFaultDriver, HostWatchdog, RecoveryController
 
 WORKLOAD_SERVER = 'server'
 WORKLOAD_HOGS = 'hogs'
+WORKLOAD_NONE = 'none'
 
 
 class VmRequest:
     """One VM the cluster is asked to run.
 
     ``workload`` selects the guest's task mix (``'server'`` installs an
-    open-loop request server, ``'hogs'`` one CPU hog per vCPU);
-    ``irs`` opts the guest into scheduler activations (effective only
-    on an IRS host); ``working_set_mb`` feeds the migration cost model.
+    open-loop request server, ``'hogs'`` one CPU hog per vCPU,
+    ``'none'`` boots an idle guest whose tasks the caller installs —
+    the traffic layer's serving replicas use this); ``irs`` opts the
+    guest into scheduler activations (effective only on an IRS host);
+    ``working_set_mb`` feeds the migration cost model.
     """
 
     def __init__(self, name, n_vcpus=2, workload=WORKLOAD_SERVER,
                  irs=False, weight=256, working_set_mb=128,
                  workload_kwargs=None):
-        if workload not in (WORKLOAD_SERVER, WORKLOAD_HOGS):
+        if workload not in (WORKLOAD_SERVER, WORKLOAD_HOGS,
+                            WORKLOAD_NONE):
             raise ValueError('unknown workload %r' % workload)
         self.name = name
         self.n_vcpus = n_vcpus
@@ -180,6 +184,8 @@ class Cluster:
         return host
 
     def _install_workload(self, kernel, request):
+        if request.workload == WORKLOAD_NONE:
+            return
         if request.workload == WORKLOAD_HOGS:
             HogWorkload(self.sim, kernel, count=request.n_vcpus,
                         name='%s.hog' % request.name,
@@ -190,6 +196,29 @@ class Cluster:
                                             **request.workload_kwargs)
             server.install()
             self.servers.append(server)
+
+    # ------------------------------------------------------------------
+    # VM retirement (the autoscaler's scale-down path)
+    # ------------------------------------------------------------------
+
+    def retire_vm(self, vm):
+        """Permanently remove ``vm`` from service: evict it from its
+        host and drop it from the kernel ledger. Returns True on
+        success; False while the VM is in flight or not resident
+        anywhere (mid-recovery) — callers retry on a later tick. The
+        name stays burned in ``_names``: retirement is forever, a
+        resubmit under the same name would corrupt the event history.
+        """
+        if vm in self.migration.in_flight:
+            return False
+        host = self.host_of(vm)
+        if host is None:
+            return False
+        host.evict_vm(vm)
+        self.kernels.pop(vm, None)
+        self.sim.trace.count('cluster.retired')
+        self._event(eventlog.EVENT_VM_RETIRE, vm=vm.name, host=host.name)
+        return True
 
     # ------------------------------------------------------------------
     # Host faults (called by the ClusterFaultDriver, or directly by
@@ -236,6 +265,14 @@ class Cluster:
         for host in self.hosts:
             if vm in host.resident_vms:
                 return host
+        return None
+
+    def vm_named(self, name):
+        """The live VM called ``name`` (resident or in flight), or
+        ``None`` — retired VMs left the kernel ledger for good."""
+        for vm in self.kernels:
+            if vm.name == name:
+                return vm
         return None
 
     def __repr__(self):

@@ -169,7 +169,7 @@ def run_consolidation(strategy='vanilla', placement='first_fit', seed=0,
     throughput = 0.0
     dropped = 0
     for server in cluster.servers:
-        merged.samples.extend(server.latency.samples)
+        merged.extend(server.latency.samples)
         throughput += server.throughput()
         dropped += server.dropped
     counters = {name: count

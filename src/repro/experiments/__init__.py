@@ -43,6 +43,8 @@ from .spec import (
     probe_spec,
     server_spec,
     spec_from_dict,
+    TrafficSpec,
+    traffic_spec,
 )
 from .sweeps import Sweep, SweepPoint
 from .strategies import (
@@ -74,5 +76,5 @@ __all__ = [
     'run_spec', 'run_spec_file', 'run_specs', 'Scenario',
     'ServerRunResult', 'server_spec', 'set_default_cache',
     'set_default_executor', 'SpecError', 'spec_from_dict', 'Sweep',
-    'SweepPoint', 'VANILLA',
+    'SweepPoint', 'TrafficSpec', 'traffic_spec', 'VANILLA',
 ]

@@ -34,12 +34,17 @@ from .reporting import format_table
 from .strategies import ALL_STRATEGIES, EXTENSION_STRATEGIES
 
 
-def _run_one(name, quick, stream, strategy=None):
+def _run_one(name, quick, stream, strategy=None, arrivals=None,
+             rate_rps=None, slo_p99_ms=None):
     figure_fn = ALL_FIGURES[name]
+    accepted = inspect.signature(figure_fn).parameters
     kwargs = {'quick': quick}
-    if (strategy is not None
-            and 'strategy' in inspect.signature(figure_fn).parameters):
-        kwargs['strategy'] = strategy
+    # Axis flags apply only where the driver takes them ('all' runs
+    # mixed batches, so unknown kwargs are skipped, not errors).
+    for key, value in (('strategy', strategy), ('arrivals', arrivals),
+                       ('rate_rps', rate_rps), ('slo_p99_ms', slo_p99_ms)):
+        if value is not None and key in accepted:
+            kwargs[key] = value
     started = time.time()
     result = figure_fn(**kwargs)
     elapsed = time.time() - started
@@ -182,6 +187,16 @@ def main(argv=None):
                              "one (e.g. sa-latency): %s"
                              % ', '.join(ALL_STRATEGIES
                                          + EXTENSION_STRATEGIES))
+    parser.add_argument('--arrivals', metavar='KIND',
+                        help='arrival process for the traffic-slo figure '
+                             '(poisson, bursty, diurnal)')
+    parser.add_argument('--rps', type=int, metavar='N', dest='rate_rps',
+                        help='offered load in requests/second for the '
+                             'traffic-slo figure (default 4000)')
+    parser.add_argument('--slo-p99', type=float, metavar='MS',
+                        dest='slo_p99_ms',
+                        help='p99 latency target in milliseconds for the '
+                             'traffic-slo figure (default 20)')
     parser.add_argument('--faults', metavar='CAMPAIGN',
                         help='run every experiment under a named fault '
                              "campaign (comma-separated to combine, e.g. "
@@ -225,6 +240,16 @@ def main(argv=None):
         if args.strategy not in known:
             parser.error('unknown strategy %r (want one of %s)'
                          % (args.strategy, ', '.join(known)))
+    if args.arrivals is not None:
+        from ..traffic.arrivals import ARRIVAL_KINDS
+        if args.arrivals not in ARRIVAL_KINDS:
+            parser.error('unknown arrival process %r (want one of %s)'
+                         % (args.arrivals, ', '.join(ARRIVAL_KINDS)))
+    if args.rate_rps is not None and args.rate_rps < 1:
+        parser.error('--rps must be >= 1, got %d' % args.rate_rps)
+    if args.slo_p99_ms is not None and args.slo_p99_ms <= 0:
+        parser.error('--slo-p99 must be positive, got %g'
+                     % args.slo_p99_ms)
     if args.figure is None:
         parser.error('the following arguments are required: figure')
     if args.wall_timeout is not None and args.wall_timeout <= 0:
@@ -261,7 +286,9 @@ def main(argv=None):
         try:
             for name in names:
                 _run_one(name, quick=not args.full, stream=stream,
-                         strategy=args.strategy)
+                         strategy=args.strategy, arrivals=args.arrivals,
+                         rate_rps=args.rate_rps,
+                         slo_p99_ms=args.slo_p99_ms)
             if args.cache:
                 counters = pipeline_counters()
                 print('(runcache: %d hits, %d misses)'

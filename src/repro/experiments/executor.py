@@ -45,7 +45,8 @@ from .harness import (
     set_default_fault_plan,
     set_default_observability,
 )
-from .spec import CLUSTER, PARALLEL, PROBE, SERVER, RunOutcome, spec_from_dict
+from .spec import (CLUSTER, PARALLEL, PROBE, SERVER, TRAFFIC, RunOutcome,
+                   spec_from_dict)
 
 
 class RunError(RuntimeError):
@@ -99,6 +100,31 @@ def execute_spec(spec):
             hog_vcpus=spec.hog_vcpus, n_server_vms=spec.n_server_vms,
             server_vcpus=spec.fg_vcpus,
             arrivals_per_sec=spec.arrivals_per_sec,
+            rebalance=spec.rebalance, faults=spec.faults,
+            observe=observe, **kwargs)
+        return RunOutcome(spec, throughput=result.throughput,
+                          latency_summary=result.latency_summary,
+                          cluster=result.summary())
+
+    if spec.kind == TRAFFIC:
+        # Lazy import for the same reason as the cluster branch: the
+        # traffic plane sits above the cluster layer.
+        from ..traffic.scenario import run_traffic
+        kwargs = {}
+        if spec.warmup_ns is not None:
+            kwargs['warmup_ns'] = spec.warmup_ns
+        if spec.measure_ns is not None:
+            kwargs['measure_ns'] = spec.measure_ns
+        result = run_traffic(
+            strategy=spec.strategy, placement=spec.placement,
+            seed=spec.seed, open_loop=spec.open_loop,
+            arrivals=spec.arrivals, rate_rps=spec.rate_rps,
+            slo_p99_ms=spec.slo_p99_ms, router=spec.router,
+            autoscale=spec.autoscale, max_replicas=spec.max_replicas,
+            n_hosts=spec.n_hosts, host_pcpus=spec.n_pcpus,
+            capacity_vcpus=spec.capacity_vcpus, n_hog_vms=spec.n_hog_vms,
+            hog_vcpus=spec.hog_vcpus, n_server_vms=spec.n_server_vms,
+            server_vcpus=spec.fg_vcpus, queue_capacity=spec.queue_capacity,
             rebalance=spec.rebalance, faults=spec.faults,
             observe=observe, **kwargs)
         return RunOutcome(spec, throughput=result.throughput,

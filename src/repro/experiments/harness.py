@@ -284,7 +284,7 @@ def run_server(kind, strategy='vanilla', n_hogs=1, seed=0, n_pcpus=4,
     sim = scenario.sim
     sim.run_until(sim.now + warmup_ns)
     # Reset for steady-state measurement.
-    server.latency.samples.clear()
+    server.latency.reset()
     server.completed = 0
     server.started_at = sim.now
     sim.run_until(sim.now + measure_ns)

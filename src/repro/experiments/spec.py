@@ -44,7 +44,8 @@ _WORKLOAD_KEYS = {'scale', 'n_threads', 'timeout_s'}
 
 #: The run kinds the executor knows how to map to harness entry points.
 PARALLEL, SERVER, PROBE, CLUSTER = 'parallel', 'server', 'probe', 'cluster'
-RUN_KINDS = (PARALLEL, SERVER, PROBE, CLUSTER)
+TRAFFIC = 'traffic'
+RUN_KINDS = (PARALLEL, SERVER, PROBE, CLUSTER, TRAFFIC)
 
 SERVER_KINDS = ('specjbb', 'ab')
 
@@ -122,6 +123,9 @@ class RunSpec:
         if self.kind == CLUSTER and not hasattr(self, 'n_hosts'):
             raise SpecError("kind='cluster' requires a ClusterSpec "
                             "(use cluster_spec())")
+        if self.kind == TRAFFIC and not hasattr(self, 'open_loop'):
+            raise SpecError("kind='traffic' requires a TrafficSpec "
+                            "(use traffic_spec())")
         inter = self.interference
         if (not isinstance(inter, tuple) or len(inter) != 3):
             raise SpecError('interference must be (kind, width, n_vms), '
@@ -250,6 +254,76 @@ def cluster_spec(strategy='vanilla', placement='first_fit', seed=0,
                        arrivals_per_sec=arrivals_per_sec,
                        warmup_ns=warmup_ns, measure_ns=measure_ns,
                        faults=faults, spans=spans)
+
+
+@dataclasses.dataclass(frozen=True)
+class TrafficSpec(ClusterSpec):
+    """Frozen description of one open-loop traffic & serving run.
+
+    Extends :class:`ClusterSpec` (so the executor, cache, and parallel
+    runner handle it unchanged) with the traffic plane's knobs. Field
+    reuse follows the cluster convention: ``n_server_vms`` is the
+    baseline replica count and ``fg_vcpus`` the per-replica vCPU count.
+    ``arrivals`` names a process in
+    :data:`repro.traffic.arrivals.ARRIVALS`; ``router`` a policy in
+    :data:`repro.traffic.router.ROUTER_POLICIES`.
+    """
+
+    open_loop: bool = True
+    arrivals: str = 'poisson'
+    rate_rps: int = 4000
+    slo_p99_ms: float = 20.0
+    router: str = 'least_queue'
+    autoscale: bool = False
+    max_replicas: int = 8
+    queue_capacity: int = 256
+
+    def __post_init__(self):
+        super().__post_init__()
+        from ..traffic.arrivals import ARRIVAL_KINDS
+        from ..traffic.router import ROUTER_POLICIES
+        if self.arrivals not in ARRIVAL_KINDS:
+            raise SpecError('unknown arrival process %r (want one of %s)'
+                            % (self.arrivals, ', '.join(ARRIVAL_KINDS)))
+        if self.router not in ROUTER_POLICIES:
+            raise SpecError('unknown router policy %r (want one of %s)'
+                            % (self.router, ', '.join(ROUTER_POLICIES)))
+        if self.rate_rps <= 0:
+            raise SpecError('rate_rps must be positive')
+        if self.slo_p99_ms <= 0:
+            raise SpecError('slo_p99_ms must be positive')
+        if self.max_replicas < self.n_server_vms:
+            raise SpecError('max_replicas must cover the baseline fleet')
+        if self.queue_capacity < 1:
+            raise SpecError('queue_capacity must be >= 1')
+
+    def describe(self):
+        return 'traffic %s/%s %s@%drps seed=%d' % (
+            'open' if self.open_loop else 'closed', self.strategy,
+            self.arrivals, self.rate_rps, self.seed)
+
+
+def traffic_spec(strategy='vanilla', placement='first_fit', seed=0,
+                 open_loop=True, arrivals='poisson', rate_rps=4000,
+                 slo_p99_ms=20.0, router='least_queue', autoscale=False,
+                 max_replicas=8, queue_capacity=256, n_hosts=4, n_pcpus=4,
+                 capacity_vcpus=6, n_hog_vms=4, hog_vcpus=2,
+                 n_server_vms=4, server_vcpus=4, rebalance=True,
+                 warmup_ns=None, measure_ns=None, faults=None, spans=False):
+    """Spec for one :func:`repro.traffic.run_traffic` run. Defaults
+    match the ``traffic-slo`` figure's consolidated topology: one hog
+    tenant paired with one 4-vCPU replica per capacity-limited host."""
+    return TrafficSpec(app='traffic-slo', strategy=strategy, kind=TRAFFIC,
+                       seed=seed, n_pcpus=n_pcpus, fg_vcpus=server_vcpus,
+                       n_hosts=n_hosts, placement=placement,
+                       rebalance=rebalance, n_hog_vms=n_hog_vms,
+                       hog_vcpus=hog_vcpus, n_server_vms=n_server_vms,
+                       capacity_vcpus=capacity_vcpus, open_loop=open_loop,
+                       arrivals=arrivals, rate_rps=rate_rps,
+                       slo_p99_ms=slo_p99_ms, router=router,
+                       autoscale=autoscale, max_replicas=max_replicas,
+                       queue_capacity=queue_capacity, warmup_ns=warmup_ns,
+                       measure_ns=measure_ns, faults=faults, spans=spans)
 
 
 def probe_spec(n_inter_vms, seed=0, trigger='preemption'):

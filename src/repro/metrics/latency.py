@@ -4,16 +4,38 @@ import math
 
 
 class LatencyRecorder:
-    """Collects latency samples (ns) and answers percentile queries."""
+    """Collects latency samples (ns) and answers percentile queries.
+
+    Percentiles are served from a cached sorted view: the first query
+    after a mutation sorts once, and every further query (``summary()``
+    alone needs two) reuses the order. Open-loop serving runs push
+    sample counts into the millions, where re-sorting per call is the
+    dominant cost. Mutate through :meth:`record` / :meth:`extend` /
+    :meth:`reset`; direct ``samples`` surgery is still detected by the
+    length check in :meth:`_ordered`, but equal-length in-place edits
+    are not — use the methods.
+    """
 
     def __init__(self, name='latency'):
         self.name = name
         self.samples = []
+        self._sorted = None
 
     def record(self, value_ns):
         if value_ns < 0:
             raise ValueError('negative latency %r' % value_ns)
         self.samples.append(value_ns)
+        self._sorted = None
+
+    def extend(self, values_ns):
+        """Bulk-append samples (merging per-replica recorders)."""
+        self.samples.extend(values_ns)
+        self._sorted = None
+
+    def reset(self):
+        """Drop every sample (steady-state measurement restarts)."""
+        self.samples.clear()
+        self._sorted = None
 
     def __len__(self):
         return len(self.samples)
@@ -27,13 +49,20 @@ class LatencyRecorder:
             return 0.0
         return sum(self.samples) / len(self.samples)
 
+    def _ordered(self):
+        ordered = self._sorted
+        if ordered is None or len(ordered) != len(self.samples):
+            ordered = sorted(self.samples)
+            self._sorted = ordered
+        return ordered
+
     def percentile(self, p):
         """Linear-interpolated percentile, p in [0, 100]."""
         if not self.samples:
             return 0.0
         if not 0 <= p <= 100:
             raise ValueError('percentile must be in [0, 100]')
-        ordered = sorted(self.samples)
+        ordered = self._ordered()
         if len(ordered) == 1:
             return float(ordered[0])
         rank = (p / 100.0) * (len(ordered) - 1)
@@ -51,7 +80,7 @@ class LatencyRecorder:
         return self.percentile(99)
 
     def max(self):
-        return max(self.samples) if self.samples else 0.0
+        return float(self._ordered()[-1]) if self.samples else 0.0
 
     def summary(self):
         """Dict of the usual aggregates (ns)."""

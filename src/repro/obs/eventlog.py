@@ -56,6 +56,22 @@ CLUSTER_EVENT_KINDS = (
     EVENT_QUARANTINE, EVENT_REARM,
 )
 
+# Traffic-plane kinds (repro.traffic): load shedding, routing-set
+# changes, and autoscaler decisions. Deterministic like the cluster
+# vocabulary, but kept in their own tuple so cluster-only reports keep
+# iterating exactly the lifecycle kinds they always did.
+EVENT_SHED = 'traffic.shed'          # replica, dropped, queue
+EVENT_REROUTE = 'traffic.reroute'    # replica, reason ('lost'/'restored')
+EVENT_SCALE_UP = 'scale.up'          # vm, host, burn, replicas
+EVENT_SCALE_DOWN = 'scale.down'      # vm, burn, replicas
+EVENT_SCALE_REJECT = 'scale.reject'  # vm, burn (admission said no)
+EVENT_VM_RETIRE = 'vm.retire'        # vm, host
+
+TRAFFIC_EVENT_KINDS = (
+    EVENT_SHED, EVENT_REROUTE, EVENT_SCALE_UP, EVENT_SCALE_DOWN,
+    EVENT_SCALE_REJECT, EVENT_VM_RETIRE,
+)
+
 # Pipeline-profiling kinds (wall-clock, emitted by the executor/cache;
 # deliberately *not* part of the deterministic cluster vocabulary).
 EVENT_SPEC_DISPATCH = 'spec.dispatch'    # spec, queue

@@ -38,6 +38,12 @@ PHASE_PREEMPT_FIRE = 'sa.preempt_fire'
 PHASE_MIGRATE = 'sa.migrate'
 #: Delay-preemption baseline: one guest-requested no-preempt window.
 PHASE_DP_DEFER = 'dp.defer'
+#: Traffic plane: one request waiting in a replica's bounded queue
+#: (dispatcher enqueue -> worker pickup).
+PHASE_REQ_QUEUE = 'req.queue'
+#: Traffic plane: one request's service execution on a worker task
+#: (pickup -> completion; includes any vCPU steal stalls).
+PHASE_REQ_SERVICE = 'req.service'
 
 #: Report order: the offer -> ack chain first, then the async tail.
 SA_PHASES = (
@@ -51,6 +57,11 @@ SA_PHASES = (
 )
 
 ALL_PHASES = SA_PHASES + (PHASE_DP_DEFER,)
+
+#: The traffic plane's request phases (``repro.traffic``). Kept out of
+#: :data:`ALL_PHASES` so the sa-latency report stays an SA-protocol
+#: profile; the serving layer registers histograms under these names.
+TRAFFIC_PHASES = (PHASE_REQ_QUEUE, PHASE_REQ_SERVICE)
 
 #: Which span phase is open while an SA round sits in each (non-idle)
 #: state of the per-vCPU protocol machine (``repro.core.protocol``).
@@ -74,6 +85,8 @@ PHASE_DESCRIPTIONS = {
     PHASE_PREEMPT_FIRE: 'deferred preemption completing',
     PHASE_MIGRATE: 'migrator pick -> task placed (or parked home)',
     PHASE_DP_DEFER: 'delay-preemption no-preempt window',
+    PHASE_REQ_QUEUE: 'request queueing delay (enqueue -> worker pickup)',
+    PHASE_REQ_SERVICE: 'request service time (pickup -> completion)',
 }
 
 

@@ -1,0 +1,134 @@
+"""SLO-burn-driven autoscaler for serving replicas.
+
+Runs as a periodic daemon in the style of
+:class:`~repro.cluster.cluster.RebalanceDaemon`, but watches the
+*service* rather than the hosts: the signal is the
+:class:`~repro.traffic.slo.SloTracker`'s recent error-budget burn
+rate. Burn above ``high_burn`` means violations are arriving faster
+than the budget tolerates — add a replica through the cluster's
+normal admission + placement path. Burn below ``low_burn`` with the
+fleet above its floor means capacity is idle — retire the most
+recently added autoscaled replica (LIFO, so the hand-placed baseline
+fleet is never touched).
+
+Hysteresis comes from three guards: the ``high_burn``/``low_burn``
+gap itself, a ``cooldown_ns`` dead time after every scale action, and
+LIFO victim selection. A load step that oscillates around the target
+therefore produces one scale-up and (after the load drops and the
+cooldown lapses) one scale-down, not a flap storm — the no-flap test
+pins this.
+
+Every decision is visible: ``scale.up`` / ``scale.down`` /
+``scale.reject`` events in the structured event log, plus
+``traffic.scale_*`` counters.
+"""
+
+from ..obs import eventlog
+from ..simkernel.units import MS
+
+
+class SloAutoscaler:
+    """Adds/retires replicas as the SLO error budget burns."""
+
+    def __init__(self, high_burn=1.0, low_burn=0.25,
+                 check_period_ns=100 * MS, cooldown_ns=400 * MS,
+                 min_replicas=1, max_replicas=8, burn_windows=5):
+        if low_burn > high_burn:
+            raise ValueError('low_burn must not exceed high_burn')
+        if min_replicas < 1 or max_replicas < min_replicas:
+            raise ValueError('need 1 <= min_replicas <= max_replicas')
+        if check_period_ns <= 0 or cooldown_ns < 0:
+            raise ValueError('periods must be positive')
+        self.high_burn = high_burn
+        self.low_burn = low_burn
+        self.check_period_ns = check_period_ns
+        self.cooldown_ns = cooldown_ns
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.burn_windows = burn_windows
+        self.service = None
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.rejects = 0
+        self._last_action = None     # sim time of last scale action
+
+    def bind(self, service):
+        """Attach to a :class:`~repro.traffic.scenario.TrafficService`
+        (anything exposing ``sim``/``tracker``/``events``,
+        ``active_replicas()``, ``deploy_replica()``,
+        ``pick_scaledown_victim()``, ``retire_replica()``)."""
+        self.service = service
+
+    def start(self):
+        self.service.sim.after(self.check_period_ns, self._check)
+
+    # ------------------------------------------------------------------
+    # Decision loop
+    # ------------------------------------------------------------------
+
+    def _in_cooldown(self, now):
+        return (self._last_action is not None
+                and now - self._last_action < self.cooldown_ns)
+
+    def _check(self):
+        service = self.service
+        sim = service.sim
+        now = sim.now
+        if not self._in_cooldown(now):
+            burn = service.tracker.burn_rate(now, self.burn_windows)
+            active = len(service.active_replicas())
+            if burn > self.high_burn and active < self.max_replicas:
+                self._scale_up(now, burn, active)
+            elif burn < self.low_burn and active > self.min_replicas:
+                self._scale_down(now, burn, active)
+        sim.after(self.check_period_ns, self._check)
+
+    def _scale_up(self, now, burn, active):
+        service = self.service
+        name, replica = service.deploy_replica()
+        if replica is None:
+            # Admission or placement said no — log it and retry next
+            # period without consuming the cooldown: a rejected scale-up
+            # changed nothing, so there is nothing to let settle.
+            self.rejects += 1
+            service.sim.trace.count('traffic.scale_rejected')
+            self._event(now, eventlog.EVENT_SCALE_REJECT,
+                        vm=name, burn=round(burn, 4))
+            return
+        self.scale_ups += 1
+        self._last_action = now
+        service.sim.trace.count('traffic.scale_ups')
+        host = service.cluster.host_of(replica.vm)
+        self._event(now, eventlog.EVENT_SCALE_UP, vm=name,
+                    host=host.name if host is not None else None,
+                    burn=round(burn, 4), replicas=active + 1)
+
+    def _scale_down(self, now, burn, active):
+        service = self.service
+        victim = service.pick_scaledown_victim()
+        if victim is None:
+            return
+        if not service.retire_replica(victim):
+            # In flight (mid-migration) — try again next period.
+            return
+        self.scale_downs += 1
+        self._last_action = now
+        service.sim.trace.count('traffic.scale_downs')
+        self._event(now, eventlog.EVENT_SCALE_DOWN, vm=victim.name,
+                    burn=round(burn, 4), replicas=active - 1)
+
+    def _event(self, now, kind, **detail):
+        if self.service.events is not None:
+            self.service.events.append(now, kind, **detail)
+
+    def summary(self):
+        return {
+            'scale_ups': self.scale_ups,
+            'scale_downs': self.scale_downs,
+            'scale_rejects': self.rejects,
+        }
+
+    def __repr__(self):
+        return '<SloAutoscaler up=%d down=%d reject=%d burn[%g,%g]>' % (
+            self.scale_ups, self.scale_downs, self.rejects,
+            self.low_burn, self.high_burn)

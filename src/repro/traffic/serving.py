@@ -1,0 +1,237 @@
+"""Open-loop serving replicas: bounded queues fed at arrival time.
+
+:class:`ReplicaServer` is the per-VM serving element: a bounded request
+queue drained by guest worker tasks. The *dispatcher side* runs at
+simulation level (:meth:`ReplicaServer.enqueue` is called from sim-event
+context by the router or a standalone dispatcher), so offered load is
+genuinely open-loop — arrivals keep coming no matter how stalled the
+guest is, and a full queue sheds instead of applying backpressure.
+Queueing delay and end-to-end latency are recorded *separately*
+(:class:`~repro.metrics.latency.LatencyRecorder` each, plus the
+log-bucketed ``req.queue`` / ``req.service`` histograms in the typed
+registry): interference inflates the queueing component first, which is
+exactly what the closed-loop workloads cannot show.
+
+:class:`OpenLoopServerWorkload` is the single-VM assembly — one arrival
+process driving one replica — used by tests and standalone runs; the
+cluster-level assembly (router + many replicas) lives in
+:mod:`repro.traffic.scenario`.
+"""
+
+from ..metrics.latency import LatencyRecorder
+from ..obs import eventlog
+from ..obs.phases import PHASE_REQ_QUEUE, PHASE_REQ_SERVICE
+from ..simkernel.units import MS, SEC
+from ..workloads.actions import Compute, QueueGet
+from ..workloads.sync import BoundedQueue
+from .arrivals import PoissonArrivals
+
+
+class ReplicaServer:
+    """One VM replica: bounded queue + guest worker tasks.
+
+    ``slo`` (a :class:`~repro.traffic.slo.SloTracker`) receives every
+    completion and shed; ``events`` (an
+    :class:`~repro.obs.eventlog.EventLog`) receives rate-limited
+    ``traffic.shed`` entries — at most one per ``shed_report_ns``,
+    carrying the count since the previous one, so an overload burst
+    cannot flood the ring.
+    """
+
+    def __init__(self, sim, kernel, name, n_workers=None,
+                 service_ns=2 * MS, jitter=0.3, queue_capacity=256,
+                 slo=None, events=None, shed_report_ns=100 * MS):
+        self.sim = sim
+        self.kernel = kernel
+        self.vm = kernel.vm
+        self.name = name
+        self.n_workers = n_workers or len(kernel.gcpus)
+        self.service_ns = service_ns
+        self.jitter = jitter
+        self.slo = slo
+        self.events = events
+        self.shed_report_ns = shed_report_ns
+        self.queue = BoundedQueue(queue_capacity, name='%s.q' % name)
+        self.queue_wait = LatencyRecorder('%s.qwait' % name)
+        self.latency = LatencyRecorder('%s.latency' % name)
+        self.enqueued = 0
+        self.completed = 0
+        self.shed = 0
+        self.retired = False
+        self.started_at = None
+        self.tasks = []
+        self._shed_pending = 0
+        self._last_shed_report = None
+        registry = sim.trace.metrics
+        self._queue_hist = registry.histogram(PHASE_REQ_QUEUE)
+        self._service_hist = registry.histogram(PHASE_REQ_SERVICE)
+
+    def install(self):
+        self.started_at = self.sim.now
+        for i in range(self.n_workers):
+            worker = self.kernel.spawn(
+                '%s.w%d' % (self.name, i), self._worker_loop(i),
+                gcpu_index=i % len(self.kernel.gcpus))
+            self.tasks.append(worker)
+        return self
+
+    @property
+    def queue_depth(self):
+        return len(self.queue.items)
+
+    # ------------------------------------------------------------------
+    # Dispatcher side (sim-event context, not a guest task)
+    # ------------------------------------------------------------------
+
+    def enqueue(self, arrived_ns):
+        """Inject one request at its arrival time. Hands the item
+        straight to a blocked worker when one is waiting, queues it
+        when there is room, sheds it otherwise. Returns True when the
+        request was accepted."""
+        if self.retired:
+            self._shed_one()
+            return False
+        queue = self.queue
+        if queue.get_waiters:
+            # Mirror SyncEngine.do_queue_put's direct hand-off: put()
+            # fills the consumer's mailbox, we clear its parked action
+            # and wake it. wake_task is sim-event safe (timers use it).
+            __, consumer = queue.put(None, arrived_ns)
+            consumer.action = None
+            self.kernel.wake_task(consumer)
+        elif len(queue.items) < queue.capacity:
+            queue.put(None, arrived_ns)
+        else:
+            self._shed_one()
+            return False
+        self.enqueued += 1
+        return True
+
+    def _shed_one(self):
+        self.shed += 1
+        self.sim.trace.count('traffic.shed')
+        now = self.sim.now
+        if self.slo is not None:
+            self.slo.observe_shed(now)
+        self._shed_pending += 1
+        if self.events is not None and (
+                self._last_shed_report is None
+                or now - self._last_shed_report >= self.shed_report_ns):
+            self.events.append(now, eventlog.EVENT_SHED,
+                               replica=self.name,
+                               dropped=self._shed_pending,
+                               queue=len(self.queue.items))
+            self._last_shed_report = now
+            self._shed_pending = 0
+
+    # ------------------------------------------------------------------
+    # Guest side
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self, index):
+        stream = '%s.w%d' % (self.name, index)
+        while True:
+            arrived_at = yield QueueGet(self.queue)
+            picked_at = self.sim.now
+            self.queue_wait.record(picked_at - arrived_at)
+            self._queue_hist.record(picked_at - arrived_at)
+            yield Compute(self.sim.rng.jittered_ns(
+                stream, self.service_ns, self.jitter))
+            now = self.sim.now
+            self.latency.record(now - arrived_at)
+            self._service_hist.record(now - picked_at)
+            self.completed += 1
+            if self.slo is not None:
+                self.slo.observe(now, now - arrived_at)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def retire(self):
+        """Take this replica out of service. Requests still queued can
+        never complete (the guest's vCPUs go offline with the VM), so
+        they are shed — honest accounting beats losing them."""
+        self.retired = True
+        for __ in range(len(self.queue.items)):
+            self._shed_one()
+        self.queue.items.clear()
+
+    def throughput(self, now=None):
+        now = self.sim.now if now is None else now
+        elapsed = now - self.started_at
+        if elapsed <= 0:
+            return 0.0
+        return self.completed / (elapsed / SEC)
+
+    def reset_measurement(self):
+        """Clear recorders and counters for steady-state measurement.
+        In-queue requests stay — they are real backlog."""
+        self.latency.reset()
+        self.queue_wait.reset()
+        self.enqueued = 0
+        self.completed = 0
+        self.shed = 0
+        self.started_at = self.sim.now
+
+    def __repr__(self):
+        return '<ReplicaServer %s q=%d done=%d shed=%d%s>' % (
+            self.name, self.queue_depth, self.completed, self.shed,
+            ' retired' if self.retired else '')
+
+
+class OpenLoopServerWorkload:
+    """Single-VM open-loop serving: one arrival process, one replica.
+
+    The dispatcher is a sim-level timer chain, not a guest task — the
+    arrival clock never competes with the workers for a vCPU, unlike
+    the guest-resident arrival loop in
+    :class:`repro.workloads.server.OpenLoopServerWorkload` (kept for
+    the cluster's built-in ``'server'`` VM workload).
+    """
+
+    def __init__(self, sim, kernel, arrivals=None, rate_rps=800,
+                 name='openloop', slo=None, events=None,
+                 **replica_kwargs):
+        self.sim = sim
+        self.arrivals = arrivals or PoissonArrivals(
+            rate_rps, stream='traffic.%s' % name)
+        self.replica = ReplicaServer(sim, kernel, name=name, slo=slo,
+                                     events=events, **replica_kwargs)
+        self.injected = 0
+        self._gaps = None
+
+    def install(self):
+        self.replica.install()
+        self._gaps = self.arrivals.gaps(self.sim.rng)
+        self.sim.after(next(self._gaps), self._arrive)
+        return self
+
+    def _arrive(self):
+        self.injected += 1
+        self.replica.enqueue(self.sim.now)
+        self.sim.after(next(self._gaps), self._arrive)
+
+    # Convenience pass-throughs (tests read these off the workload).
+    @property
+    def latency(self):
+        return self.replica.latency
+
+    @property
+    def queue_wait(self):
+        return self.replica.queue_wait
+
+    @property
+    def completed(self):
+        return self.replica.completed
+
+    @property
+    def shed(self):
+        return self.replica.shed
+
+    def throughput(self, now=None):
+        return self.replica.throughput(now)
+
+    def reset_measurement(self):
+        self.injected = 0
+        self.replica.reset_measurement()

@@ -163,7 +163,7 @@ class OpenLoopServerWorkload:
 
     def reset_measurement(self):
         """Clear counters for steady-state measurement."""
-        self.latency.samples.clear()
+        self.latency.reset()
         self.completed = 0
         self.dropped = 0
         self.started_at = self.sim.now

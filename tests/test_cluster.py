@@ -110,6 +110,22 @@ class TestAdmission:
         assert cluster.admission.rejections == ['late']
         assert cluster.admission.admitted == 4
 
+    def test_rejection_ledger_is_ring_bounded(self):
+        from repro.cluster.admission import AdmissionController
+        sim = Simulator(seed=0)
+        admission = AdmissionController(max_rejections=3)
+        for i in range(5):
+            admission.reject(VmRequest('vm%d' % i, workload='hogs'), sim)
+        assert admission.rejected == 5
+        assert admission.rejections_dropped == 2
+        # Ring keeps the newest entries, in arrival order.
+        assert admission.rejections == ['vm2', 'vm3', 'vm4']
+
+    def test_rejection_ring_validates_capacity(self):
+        from repro.cluster.admission import AdmissionController
+        with pytest.raises(ValueError):
+            AdmissionController(max_rejections=0)
+
     def test_capacity_counts_migration_reservations(self):
         sim = Simulator(seed=0)
         cluster = _cluster(sim, n=2, capacity=4)

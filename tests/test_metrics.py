@@ -38,6 +38,35 @@ class TestLatencyRecorder:
             rec.record(v)
         assert rec.percentile(50) == 50
 
+    def test_sorted_view_invalidated_by_record(self):
+        rec = LatencyRecorder()
+        rec.record(100)
+        assert rec.p99() == 100
+        rec.record(50)                    # after a cached query
+        assert rec.percentile(0) == 50
+        assert rec.max() == 100
+
+    def test_sorted_view_invalidated_by_extend_and_reset(self):
+        rec = LatencyRecorder()
+        rec.extend([30, 10, 20])
+        assert rec.p50() == 20
+        rec.extend([5])
+        assert rec.percentile(0) == 5
+        rec.reset()
+        assert rec.count == 0
+        assert rec.p99() == 0.0
+
+    def test_cached_percentiles_match_fresh_recorder(self):
+        cached = LatencyRecorder()
+        for v in (9, 3, 7, 1, 5):
+            cached.record(v)
+            cached.p50()                  # query between every mutation
+        fresh = LatencyRecorder()
+        fresh.extend([9, 3, 7, 1, 5])
+        for p in (0, 25, 50, 75, 99, 100):
+            assert cached.percentile(p) == fresh.percentile(p)
+        assert cached.summary() == fresh.summary()
+
     def test_p50_of_uniform(self):
         rec = LatencyRecorder()
         for v in range(101):

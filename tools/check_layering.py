@@ -4,7 +4,7 @@
 The codebase is layered (see DESIGN.md, "Layering and module map")::
 
     obs < simkernel < metrics < workloads < {hypervisor, guestos}
-        < faults < core < experiments < cluster
+        < faults < core < experiments < cluster < traffic
 
 A package may import (at module level) only from packages at its own
 rank or below. ``hypervisor`` and ``guestos`` share a rank: the
@@ -41,6 +41,7 @@ RANKS = {
     'core': 6,
     'experiments': 7,
     'cluster': 8,
+    'traffic': 9,
 }
 
 
