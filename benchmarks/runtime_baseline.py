@@ -123,6 +123,43 @@ def measure_percentiles(samples=PERCENTILE_SAMPLES,
     }
 
 
+#: Wall-time budget for one full repro-lint sweep (all five passes over
+#: ``src/repro``). The lint gates CI ahead of the test suite, so it must
+#: stay a few seconds at most; breaching this is a hard error here.
+REPLINT_BUDGET_S = 5.0
+
+
+def measure_replint(budget_s=REPLINT_BUDGET_S):
+    """Time one full ``tools.replint`` sweep — all registered passes
+    over ``src/repro`` with the checked-in baseline applied — and fail
+    if it exceeds the CI fail-first budget or reports active findings."""
+    repo_root = os.path.join(os.path.dirname(__file__), '..')
+    if os.path.abspath(repo_root) not in (os.path.abspath(p)
+                                          for p in sys.path):
+        sys.path.insert(0, repo_root)
+    from tools.replint import run_passes
+
+    src_root = os.path.join(repo_root, 'src')
+    baseline = os.path.join(repo_root, 'tools', 'replint', 'baseline.json')
+    start = time.perf_counter()
+    findings, _ = run_passes(src_root, baseline_path=baseline)
+    wall = time.perf_counter() - start
+    active = [f for f in findings if f.active]
+    if active:
+        raise AssertionError(
+            'replint found %d active finding(s) during benchmarking'
+            % len(active))
+    if wall > budget_s:
+        raise AssertionError(
+            'replint sweep took %.2fs, over the %.1fs budget'
+            % (wall, budget_s))
+    return {
+        'replint_s': round(wall, 4),
+        'budget_s': budget_s,
+        'findings_total': len(findings),
+    }
+
+
 def measure(jobs):
     results = {}
     for name, driver in FIGURES.items():
@@ -152,6 +189,8 @@ def measure(jobs):
     print(f"action-dispatch: {results['action-dispatch']}")
     results['latency-percentiles'] = measure_percentiles()
     print(f"latency-percentiles: {results['latency-percentiles']}")
+    results['replint'] = measure_replint()
+    print(f"replint: {results['replint']}")
     return results
 
 

@@ -167,7 +167,7 @@ class Cluster:
                     policy=self.policy.name,
                     scores=self.policy.scores(candidates, request))
         self.sim.trace.spans.instant(
-            self.sim.now, 'vm.place', 'cluster/%s/placement' % host.name,
+            self.sim.now, eventlog.EVENT_PLACE, 'cluster/%s/placement' % host.name,
             vm=request.name)
 
         vm = VM(request.name, n_vcpus=request.n_vcpus, sim=self.sim,

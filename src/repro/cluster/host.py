@@ -12,6 +12,7 @@ placement policies read.
 from ..core import IRSConfig, SaReceiver
 from ..core.sender import SaSender
 from ..hypervisor import Machine, StrategyDescriptor
+from ..obs import eventlog
 
 VANILLA = 'vanilla'
 PLE = 'ple'
@@ -139,14 +140,15 @@ class Host:
         self.state = HOST_FAILED
         self.crashes += 1
         self.metrics.counter('crashes').inc()
-        self._health_mark('host.crash', orphans=len(orphans))
+        self._health_mark(eventlog.EVENT_HOST_CRASH,
+                  orphans=len(orphans))
         return orphans
 
     def degrade(self):
         """Mark this host unhealthy; the watchdog quarantines it."""
         self.state = HOST_DEGRADED
         self.metrics.counter('degrades').inc()
-        self._health_mark('host.degrade')
+        self._health_mark(eventlog.EVENT_HOST_DEGRADE)
 
     def recover(self):
         """Return the host to service (empty after a crash; still
@@ -154,7 +156,7 @@ class Host:
         an outage, so profiles restart from a fresh window."""
         self.state = HOST_UP
         self.metrics.counter('recoveries').inc()
-        self._health_mark('host.recover')
+        self._health_mark(eventlog.EVENT_HOST_RECOVER)
         if self.monitor is not None:
             self.monitor.profiles = {}
             for vm in self.resident_vms:

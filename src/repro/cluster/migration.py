@@ -16,6 +16,8 @@ resume, which is exactly the downtime cost the figures measure.
 """
 
 from ..obs import eventlog
+from ..obs.phases import (PHASE_CL_MIGRATE, PHASE_CL_MIGRATE_IN,
+                          PHASE_CL_MIGRATE_ROLLBACK)
 from ..simkernel.units import MS, SEC
 
 
@@ -199,7 +201,7 @@ class LiveMigrationEngine:
                         failures=count)
             if host is not None:
                 self.sim.trace.spans.instant(
-                    self.sim.now, 'migration.breaker_trip',
+                    self.sim.now, eventlog.EVENT_BREAKER_TRIP,
                     'cluster/%s/health' % host.name, vm=vm.name,
                     failures=count)
         return count
@@ -233,7 +235,7 @@ class LiveMigrationEngine:
         resume = self.sim.after(transfer, self._resume, vm)
         flow_id = next(self.flow_ids) if self.flow_ids is not None else None
         span = self.sim.trace.spans.begin(
-            self.sim.now, 'cluster.migrate', self._track(source, vm),
+            self.sim.now, PHASE_CL_MIGRATE, self._track(source, vm),
             flow='start', flow_id=flow_id, vm=vm.name, target=target.name,
             reason=reason)
         flight = _Flight(record, source, target, resume, flow_id=flow_id,
@@ -272,7 +274,7 @@ class LiveMigrationEngine:
         # The arrival instant carries the flow *end*: Perfetto draws
         # the arrow from the source-host transfer slice to this point
         # on the target host's track.
-        spans.instant(self.sim.now, 'cluster.migrate_in',
+        spans.instant(self.sim.now, PHASE_CL_MIGRATE_IN,
                       self._track(target, vm), flow='end',
                       flow_id=flight.flow_id, vm=vm.name,
                       source=flight.source.name)
@@ -330,7 +332,7 @@ class LiveMigrationEngine:
         # Rollback closes the flow where it started: the arrow returns
         # to the source host's track.
         self.sim.trace.spans.instant(
-            self.sim.now, 'cluster.migrate_rollback',
+            self.sim.now, PHASE_CL_MIGRATE_ROLLBACK,
             self._track(flight.source, vm), flow='end',
             flow_id=flight.flow_id, vm=vm.name, reason=reason)
 

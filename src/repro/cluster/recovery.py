@@ -88,7 +88,7 @@ class RecoveryController:
         if host is not None and self.cluster.flow_ids is not None:
             flow_id = next(self.cluster.flow_ids)
             self.sim.trace.spans.instant(
-                self.sim.now, 'vm.orphaned',
+                self.sim.now, eventlog.EVENT_ORPHANED,
                 'cluster/%s/recovery' % host.name, flow='start',
                 flow_id=flow_id, vm=vm.name, cause=cause)
         self._flows[vm] = flow_id
@@ -124,7 +124,7 @@ class RecoveryController:
             if flow_id is not None:
                 detail.update(flow='end', flow_id=flow_id)
             self.sim.trace.spans.instant(
-                self.sim.now, 'vm.recovered',
+                self.sim.now, eventlog.EVENT_RECOVERED,
                 'cluster/%s/recovery' % host.name, **detail)
             self._event(eventlog.EVENT_RECOVERED, vm=vm.name,
                         host=host.name, attempts=attempts, flow=flow_id)
@@ -172,7 +172,7 @@ class HostWatchdog:
                     self.sim.now, eventlog.EVENT_QUARANTINE,
                     host=host.name)
                 self.sim.trace.spans.instant(
-                    self.sim.now, 'host.quarantine',
+                    self.sim.now, eventlog.EVENT_QUARANTINE,
                     'cluster/%s/health' % host.name)
             elif host.state == 'up' and host.quarantined:
                 host.quarantined = False
@@ -181,7 +181,7 @@ class HostWatchdog:
                 self.cluster.events.append(
                     self.sim.now, eventlog.EVENT_REARM, host=host.name)
                 self.sim.trace.spans.instant(
-                    self.sim.now, 'host.rearm',
+                    self.sim.now, eventlog.EVENT_REARM,
                     'cluster/%s/health' % host.name)
         self.sim.after(self.check_period_ns, self._check)
 

@@ -80,8 +80,23 @@ EDGE_TIMEOUT = 'timeout'
 EDGE_CANCEL = 'cancel'
 EDGE_SPURIOUS_CLOSE = 'spurious_close'
 
+#: Every intent edge, in protocol order. The static protocol-
+#: exhaustiveness lint (``tools/replint``) checks that each
+#: ``(state, edge)`` pair of ``SA_STATES x SA_EDGES`` appears in
+#: exactly one of :data:`LEGAL_TRANSITIONS` /
+#: :data:`ILLEGAL_TRANSITIONS` — adding an edge constant without
+#: classifying all six states against it fails the build.
+SA_EDGES = (
+    EDGE_OFFER, EDGE_RETRY, EDGE_UPCALL, EDGE_SPURIOUS_UPCALL,
+    EDGE_DESCHEDULE, EDGE_ACK, EDGE_EARLY_ACK, EDGE_LATE_ACK,
+    EDGE_MIGRATED, EDGE_PARKED_HOME, EDGE_STRANDED, EDGE_STALE_TASK,
+    EDGE_TIMEOUT, EDGE_CANCEL, EDGE_SPURIOUS_CLOSE,
+)
+
 #: ``(state, edge) -> new_state`` — the complete legal-transition table.
-#: Everything absent from this table is an illegal transition.
+#: Everything absent from this table is an illegal transition, and is
+#: *also* enumerated in :data:`ILLEGAL_TRANSITIONS` so that every pair
+#: is a considered decision rather than an omission.
 LEGAL_TRANSITIONS = {
     # The happy path of one activation round.
     (SA_IDLE, EDGE_OFFER): SA_NOTIFIED,
@@ -144,6 +159,81 @@ LEGAL_TRANSITIONS = {
     (SA_ACKED, EDGE_CANCEL): SA_IDLE,
     (SA_MIGRATED, EDGE_CANCEL): SA_IDLE,
 }
+
+#: The declared-illegal complement: every ``(state, edge)`` pair a
+#: correct implementation must never attempt. The runtime records (not
+#: raises) these via :class:`IllegalTransition`; declaring them keeps
+#: the table *total* — the static lint rejects a build where a pair is
+#: in neither table, so new edges cannot become "illegal by omission".
+ILLEGAL_TRANSITIONS = frozenset((
+    # A fresh offer requires a quiescent machine; the sender never
+    # overlaps rounds on one vCPU.
+    (SA_NOTIFIED, EDGE_OFFER),
+    (SA_SWITCHING, EDGE_OFFER),
+    (SA_LIMBO, EDGE_OFFER),
+    # Retries stop once the hypervisor has the ack in hand.
+    (SA_ACKED, EDGE_RETRY),
+    # A (non-spurious) upcall needs an offer in flight; re-entry is
+    # only legal from LIMBO (lost-ack recovery).
+    (SA_IDLE, EDGE_UPCALL),
+    (SA_SWITCHING, EDGE_UPCALL),
+    (SA_ACKED, EDGE_UPCALL),
+    (SA_MIGRATED, EDGE_UPCALL),
+    # Spurious upcalls open rounds only from quiescent states; an
+    # active round's upcall is the normal edge, never spurious.
+    (SA_NOTIFIED, EDGE_SPURIOUS_UPCALL),
+    (SA_SWITCHING, EDGE_SPURIOUS_UPCALL),
+    (SA_LIMBO, EDGE_SPURIOUS_UPCALL),
+    # The context switch happens exactly once, inside the handler.
+    (SA_IDLE, EDGE_DESCHEDULE),
+    (SA_NOTIFIED, EDGE_DESCHEDULE),
+    (SA_LIMBO, EDGE_DESCHEDULE),
+    (SA_ACKED, EDGE_DESCHEDULE),
+    (SA_MIGRATED, EDGE_DESCHEDULE),
+    # The intent methods resolve acks: sender.ack() picks the normal /
+    # early / late edge itself, so the raw edges are unreachable
+    # elsewhere (LIMBO is the only normal-ack state, NOTIFIED /
+    # SWITCHING the only early-ack ones, quiescent the only late ones).
+    (SA_IDLE, EDGE_ACK),
+    (SA_NOTIFIED, EDGE_ACK),
+    (SA_SWITCHING, EDGE_ACK),
+    (SA_ACKED, EDGE_ACK),
+    (SA_MIGRATED, EDGE_ACK),
+    (SA_IDLE, EDGE_EARLY_ACK),
+    (SA_LIMBO, EDGE_EARLY_ACK),
+    (SA_ACKED, EDGE_EARLY_ACK),
+    (SA_MIGRATED, EDGE_EARLY_ACK),
+    (SA_NOTIFIED, EDGE_LATE_ACK),
+    (SA_SWITCHING, EDGE_LATE_ACK),
+    (SA_LIMBO, EDGE_LATE_ACK),
+    # Task disposal needs a limbo task (LIMBO) or a closed handshake
+    # (ACKED); a round that never descheduled has nothing to dispose.
+    (SA_IDLE, EDGE_MIGRATED),
+    (SA_NOTIFIED, EDGE_MIGRATED),
+    (SA_SWITCHING, EDGE_MIGRATED),
+    (SA_MIGRATED, EDGE_MIGRATED),
+    (SA_IDLE, EDGE_PARKED_HOME),
+    (SA_NOTIFIED, EDGE_PARKED_HOME),
+    (SA_SWITCHING, EDGE_PARKED_HOME),
+    (SA_MIGRATED, EDGE_PARKED_HOME),
+    (SA_IDLE, EDGE_STRANDED),
+    (SA_NOTIFIED, EDGE_STRANDED),
+    (SA_SWITCHING, EDGE_STRANDED),
+    (SA_MIGRATED, EDGE_STRANDED),
+    (SA_IDLE, EDGE_STALE_TASK),
+    (SA_NOTIFIED, EDGE_STALE_TASK),
+    (SA_SWITCHING, EDGE_STALE_TASK),
+    (SA_MIGRATED, EDGE_STALE_TASK),
+    # The grace window is disarmed the moment the ack lands.
+    (SA_ACKED, EDGE_TIMEOUT),
+    # Spurious-close is the receiver finishing a spurious round it
+    # opened itself; only LIMBO can hold such a round.
+    (SA_IDLE, EDGE_SPURIOUS_CLOSE),
+    (SA_NOTIFIED, EDGE_SPURIOUS_CLOSE),
+    (SA_SWITCHING, EDGE_SPURIOUS_CLOSE),
+    (SA_ACKED, EDGE_SPURIOUS_CLOSE),
+    (SA_MIGRATED, EDGE_SPURIOUS_CLOSE),
+))
 
 #: The transitions of an undisturbed round. Every legal transition
 #: outside this set is *degraded*: reachable only under faults,

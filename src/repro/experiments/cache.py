@@ -59,6 +59,8 @@ PROFILE_LOG = EventLog()
 
 
 def _profile(kind, **detail):
+    # Wall-clock by design: profiles the pipeline itself, never the
+    # simulated world.  # replint: disable=determinism
     PROFILE_LOG.append(time.monotonic_ns(), kind, **detail)
 
 

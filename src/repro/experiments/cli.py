@@ -45,9 +45,11 @@ def _run_one(name, quick, stream, strategy=None, arrivals=None,
                        ('rate_rps', rate_rps), ('slo_p99_ms', slo_p99_ms)):
         if value is not None and key in accepted:
             kwargs[key] = value
+    # Wall-clock elapsed display for the operator; never feeds
+    # simulation state.  # replint: disable=determinism
     started = time.time()
     result = figure_fn(**kwargs)
-    elapsed = time.time() - started
+    elapsed = time.time() - started  # replint: disable=determinism
     print(result.table(), file=stream)
     for warning in getattr(result, 'warnings', ()):
         print(warning, file=stream)

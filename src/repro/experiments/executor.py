@@ -191,14 +191,14 @@ class SerialExecutor:
         outcomes = []
         for spec in specs:
             METRICS.counter('executor.dispatched').inc()
-            started = time.monotonic_ns()
+            started = time.monotonic_ns()  # replint: disable=determinism
             PROFILE_LOG.append(started, eventlog.EVENT_SPEC_DISPATCH,
                                spec=spec.describe(), jobs=1)
             try:
                 outcomes.append(execute_spec(spec))
             except Exception as exc:
                 raise RunError(spec, exc) from exc
-            finished = time.monotonic_ns()
+            finished = time.monotonic_ns()  # replint: disable=determinism
             wall_ns = finished - started
             METRICS.histogram('executor.run_wall_ns').record(wall_ns)
             PROFILE_LOG.append(finished, eventlog.EVENT_SPEC_DONE,
@@ -263,7 +263,7 @@ class ParallelRunner:
                             % self.wall_timeout)) from exc
                     retried.add(i)
                     METRICS.counter('executor.timeout_retries').inc()
-                    PROFILE_LOG.append(time.monotonic_ns(),
+                    PROFILE_LOG.append(time.monotonic_ns(),  # replint: disable=determinism
                                        eventlog.EVENT_SPEC_RETRY,
                                        spec=spec.describe())
                     # Every uncollected spec's worker died with the old
@@ -278,7 +278,7 @@ class ParallelRunner:
                     for pending in futures:
                         pending.cancel()
                     raise RunError(spec, exc) from exc
-                finished = time.monotonic_ns()
+                finished = time.monotonic_ns()  # replint: disable=determinism
                 # Wall time as seen from the parent: queue wait plus
                 # the worker's run (the parent cannot see inside).
                 wall_ns = finished - submitted[i]
@@ -295,7 +295,7 @@ class ParallelRunner:
         submitted = []
         for spec in specs:
             METRICS.counter('executor.dispatched').inc()
-            now = time.monotonic_ns()
+            now = time.monotonic_ns()  # replint: disable=determinism
             submitted.append(now)
             PROFILE_LOG.append(now, eventlog.EVENT_SPEC_DISPATCH,
                                spec=spec.describe(), jobs=self.jobs)

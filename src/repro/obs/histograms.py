@@ -23,6 +23,81 @@ import math
 #: quantile error - tight enough to resolve the paper's 20-26 us band.
 SUB_BUCKETS = 16
 
+# ----------------------------------------------------------------------
+# The metric-name taxonomy
+# ----------------------------------------------------------------------
+#
+# Every counter/gauge/histogram name emitted anywhere in ``src/repro``
+# is declared here (or is a span phase from :mod:`repro.obs.phases`, or
+# an event kind from :mod:`repro.obs.eventlog` — span durations and
+# health markers register under those vocabularies). The static
+# taxonomy-drift lint (``tools/replint``) cross-checks emission sites
+# against these sets, so a metric can no longer be born by typo: an
+# undeclared name fails the build instead of silently falling out of
+# every registry-driven report.
+
+#: Full metric names, grouped by emitting subsystem.
+DECLARED_METRICS = frozenset((
+    # hypervisor substrate
+    'hv.preemptions', 'hv.rebalances', 'hv.repicks', 'hv.steals',
+    'hv.wakes',
+    'virq.delivered', 'virq.dropped', 'virq.pended',
+    'ple.exits',
+    'relaxedco.costops', 'relaxedco.switches',
+    'dp.budget_exhausted', 'dp.deferrals',
+    'balancesched.vetoes',
+    # guest kernel
+    'guest.block_waits', 'guest.cpu_offline', 'guest.cpu_online',
+    'guest.nohz_kicks', 'guest.pulls', 'guest.spin_waits',
+    'guest.stopper_migrations', 'guest.task_exits', 'guest.wakeups',
+    # IRS core (sender / receiver / context switcher / migrator)
+    'irs.context_switches', 'irs.migrations', 'irs.migrator_aborts',
+    'irs.migrator_failures', 'irs.migrator_fallbacks',
+    'irs.migrator_probe_errors', 'irs.migrator_recoveries',
+    'irs.migrator_retries', 'irs.migrator_stranded', 'irs.pull_kicks',
+    'irs.pulls', 'irs.sa_dup_acks', 'irs.sa_health_fallbacks',
+    'irs.sa_health_rearms', 'irs.sa_retries', 'irs.sa_sent',
+    'irs.sa_suppressed', 'irs.sa_timeouts',
+    # fault plane / sanitizer
+    'faults.injected',
+    'sanitizer.checks', 'sanitizer.violations',
+    # cluster control plane
+    'cluster.admitted', 'cluster.drain_migrations',
+    'cluster.duplicate_submits', 'cluster.host_crashes',
+    'cluster.host_degrades', 'cluster.host_recoveries',
+    'cluster.migration_aborts', 'cluster.migration_breaker_refusals',
+    'cluster.migration_breaker_trips', 'cluster.migration_orphans',
+    'cluster.migration_retries', 'cluster.migration_rollbacks',
+    'cluster.migrations', 'cluster.migrations_done', 'cluster.parked',
+    'cluster.quarantine_rearms', 'cluster.quarantines',
+    'cluster.rebalance_rearms', 'cluster.rebalance_trips',
+    'cluster.recoveries', 'cluster.recovery_retries',
+    'cluster.rejected', 'cluster.retired', 'cluster.unparked',
+    # traffic / serving plane
+    'traffic.reroute', 'traffic.scale_downs', 'traffic.scale_rejected',
+    'traffic.scale_ups', 'traffic.shed', 'traffic.unroutable',
+    # observability self-accounting
+    'spans.dropped', 'trace.dropped',
+    # wall-clock pipeline profiling (experiments layer; not part of
+    # the deterministic in-simulation vocabulary)
+    'executor.dispatched', 'executor.run_wall_ns', 'executor.runs',
+    'executor.timeout_retries', 'executor.wall_timeouts',
+    'runcache.hit', 'runcache.miss', 'runcache.store',
+))
+
+#: Short per-scope family names used through :class:`ScopedRegistry`
+#: views (``registry.scoped('host.host0.')`` etc.); the exposition
+#: folds them into labelled families, so the *family* is the declared
+#: unit, not each prefixed instance.
+DECLARED_METRIC_FAMILIES = frozenset((
+    # host scope ('host.<name>.')
+    'adoptions', 'crashes', 'degrades', 'evictions', 'monitor_windows',
+    'placements', 'recoveries', 'resident_vms', 'run_pressure',
+    'steal_pressure',
+    # SLO scope ('traffic.slo.')
+    'attainment_ppm', 'burn_ppm', 'good', 'shed', 'slow',
+))
+
 
 class LogHistogram:
     """Fixed-memory histogram of non-negative integer durations (ns)."""

@@ -63,6 +63,23 @@ ALL_PHASES = SA_PHASES + (PHASE_DP_DEFER,)
 #: profile; the serving layer registers histograms under these names.
 TRAFFIC_PHASES = (PHASE_REQ_QUEUE, PHASE_REQ_SERVICE)
 
+#: Cluster plane: one live-migration leg on the VM's migration track
+#: (source-side start -> target-side completion).
+PHASE_CL_MIGRATE = 'cluster.migrate'
+#: Cluster plane: the target-side arrival instant closing a migration.
+PHASE_CL_MIGRATE_IN = 'cluster.migrate_in'
+#: Cluster plane: an aborted migration rolling back to its source.
+PHASE_CL_MIGRATE_ROLLBACK = 'cluster.migrate_rollback'
+
+#: The cluster layer's span phases (``repro.cluster``). Like
+#: :data:`TRAFFIC_PHASES`, kept out of :data:`ALL_PHASES`; the
+#: cross-host trace stitching renders these on per-VM migration
+#: tracks. Health/lifecycle *instants* on cluster tracks reuse the
+#: event-kind vocabulary of :mod:`repro.obs.eventlog` instead, so the
+#: trace and the event log tell one story under one set of names.
+CLUSTER_PHASES = (PHASE_CL_MIGRATE, PHASE_CL_MIGRATE_IN,
+                  PHASE_CL_MIGRATE_ROLLBACK)
+
 #: Which span phase is open while an SA round sits in each (non-idle)
 #: state of the per-vCPU protocol machine (``repro.core.protocol``).
 #: Keyed by state *name* — this layer sits below core, so the names are
@@ -87,6 +104,9 @@ PHASE_DESCRIPTIONS = {
     PHASE_DP_DEFER: 'delay-preemption no-preempt window',
     PHASE_REQ_QUEUE: 'request queueing delay (enqueue -> worker pickup)',
     PHASE_REQ_SERVICE: 'request service time (pickup -> completion)',
+    PHASE_CL_MIGRATE: 'live-migration leg (source start -> target done)',
+    PHASE_CL_MIGRATE_IN: 'migration arrival on the target host',
+    PHASE_CL_MIGRATE_ROLLBACK: 'aborted migration rolled back to source',
 }
 
 

@@ -1,19 +1,13 @@
 #!/usr/bin/env python3
 """Layering lint: fail on upward imports between repro packages.
 
-The codebase is layered (see DESIGN.md, "Layering and module map")::
-
-    obs < simkernel < metrics < workloads < {hypervisor, guestos}
-        < faults < core < experiments < cluster < traffic
-
-A package may import (at module level) only from packages at its own
-rank or below. ``hypervisor`` and ``guestos`` share a rank: the
-substrate is one layer split across the virtualization boundary, and
-the two reference each other by design. The ``experiments <-> cluster``
-back-reference is lazy (inside functions) precisely so the module
-graph stays acyclic — this tool checks *module-level* imports only, so
-a regression that hoists such an import to the top of a module fails
-the lint.
+Thin compatibility shim: the implementation now lives in the
+repro-lint framework as the ``layering`` pass
+(``tools/replint/passes/layering.py``) so it runs alongside the
+determinism/RNG/taxonomy/protocol passes under ``python -m
+tools.replint``. This entry point keeps the historical interface —
+same CLI, same exit codes, same one-line-per-violation stderr output —
+for CI scripts and tests that call it directly.
 
 Usage::
 
@@ -23,111 +17,29 @@ Exit status 0 when clean, 1 with one line per violation otherwise.
 """
 
 import argparse
-import ast
 import sys
 from pathlib import Path
 
-TOP_PACKAGE = 'repro'
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT))
 
-#: package -> rank; lower ranks must not import from higher ones.
-RANKS = {
-    'obs': 0,
-    'simkernel': 1,
-    'metrics': 2,
-    'workloads': 3,
-    'hypervisor': 4,
-    'guestos': 4,
-    'faults': 5,
-    'core': 6,
-    'experiments': 7,
-    'cluster': 8,
-    'traffic': 9,
-}
+from tools.replint.passes.layering import (     # noqa: E402
+    RANKS,
+    TOP_PACKAGE,
+    check_file,
+    iter_module_level_imports,
+    resolve_package,
+    run_strings,
+)
 
-
-def iter_module_level_imports(tree):
-    """Yield Import/ImportFrom nodes reachable without entering a
-    function body (class bodies run at import time and count)."""
-    stack = [tree]
-    while stack:
-        node = stack.pop()
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                  ast.Lambda)):
-                continue
-            if isinstance(child, (ast.Import, ast.ImportFrom)):
-                yield child
-            else:
-                stack.append(child)
-
-
-def resolve_package(node, module_parts):
-    """The repro subpackage an import node refers to, or None for
-    stdlib / third-party / same-package-relative imports.
-
-    ``module_parts`` is the dotted path of the importing module as a
-    list, e.g. ``['repro', 'core', 'sender']``.
-    """
-    if isinstance(node, ast.Import):
-        for alias in node.names:
-            parts = alias.name.split('.')
-            if parts[0] == TOP_PACKAGE and len(parts) > 1:
-                return parts[1]
-        return None
-    # ImportFrom: resolve relative levels against the importing module.
-    if node.level == 0:
-        parts = (node.module or '').split('.')
-        if parts and parts[0] == TOP_PACKAGE and len(parts) > 1:
-            return parts[1]
-        return None
-    base = module_parts[:-node.level]
-    if node.module:
-        base = base + node.module.split('.')
-    if len(base) > 1 and base[0] == TOP_PACKAGE:
-        return base[1]
-    return None
-
-
-def check_file(path, src_root):
-    """Return a list of violation strings for one source file."""
-    rel = path.relative_to(src_root)
-    module_parts = list(rel.with_suffix('').parts)
-    if module_parts[-1] == '__init__':
-        module_parts = module_parts[:-1] + ['__init__']
-    if module_parts[0] != TOP_PACKAGE or len(module_parts) < 2:
-        return []
-    package = module_parts[1]
-    if package == '__init__':
-        return []                    # the top package only re-exports
-    rank = RANKS.get(package)
-    if rank is None:
-        return ['%s: package %r has no layering rank; add it to '
-                'tools/check_layering.py' % (rel, package)]
-    tree = ast.parse(path.read_text(), filename=str(path))
-    violations = []
-    for node in iter_module_level_imports(tree):
-        target = resolve_package(node, module_parts)
-        if target is None or target == package:
-            continue
-        target_rank = RANKS.get(target)
-        if target_rank is None:
-            violations.append(
-                '%s:%d: imports unranked package %r; add it to '
-                'tools/check_layering.py' % (rel, node.lineno, target))
-        elif target_rank > rank:
-            violations.append(
-                '%s:%d: upward import: %s (rank %d) -> %s (rank %d); '
-                'move the import inside a function or fix the layering'
-                % (rel, node.lineno, package, rank, target, target_rank))
-    return violations
+__all__ = ['RANKS', 'TOP_PACKAGE', 'check_file',
+           'iter_module_level_imports', 'resolve_package', 'run', 'main']
 
 
 def run(src_root):
-    src_root = Path(src_root)
-    violations = []
-    for path in sorted((src_root / TOP_PACKAGE).rglob('*.py')):
-        violations.extend(check_file(path, src_root))
-    return violations
+    """All violations under ``src_root`` as strings (legacy API)."""
+    return run_strings(src_root)
 
 
 def main(argv=None):

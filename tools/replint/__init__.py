@@ -1,0 +1,31 @@
+"""repro-lint: AST-based static analysis for the reproduction's core
+contracts — determinism, RNG discipline, taxonomy integrity, protocol
+exhaustiveness, and layering.
+
+Run it over the tree::
+
+    python -m tools.replint                  # human-readable, exit 1 on findings
+    python -m tools.replint --format json    # machine-readable
+    python -m tools.replint --passes determinism,layering
+
+See ``docs/static-analysis.md`` for the pass catalogue, the
+suppression/baseline workflow, and how to add a pass.
+"""
+
+from .framework import (          # noqa: F401
+    PASSES,
+    Finding,
+    Project,
+    SourceFile,
+    apply_baseline,
+    load_baseline,
+    register_pass,
+    run_passes,
+    write_baseline,
+)
+from . import passes              # noqa: F401  (registers the built-ins)
+
+__all__ = [
+    'PASSES', 'Finding', 'Project', 'SourceFile', 'apply_baseline',
+    'load_baseline', 'register_pass', 'run_passes', 'write_baseline',
+]

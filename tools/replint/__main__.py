@@ -1,0 +1,104 @@
+"""CLI for repro-lint: ``python -m tools.replint``.
+
+Exit status 0 when every finding is suppressed or baselined, 1 when
+active findings remain (CI fails on those), 2 on usage errors.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import PASSES, run_passes, write_baseline
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+DEFAULT_SRC = REPO_ROOT / 'src'
+DEFAULT_BASELINE = Path(__file__).resolve().parent / 'baseline.json'
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog='python -m tools.replint',
+        description='repro-lint: determinism / RNG / taxonomy / '
+                    'protocol / layering static analysis')
+    parser.add_argument('--src', default=str(DEFAULT_SRC),
+                        help='source root containing the repro package '
+                             '(default: <repo>/src)')
+    parser.add_argument('--baseline', default=str(DEFAULT_BASELINE),
+                        help='baseline JSON of grandfathered findings '
+                             '(default: tools/replint/baseline.json)')
+    parser.add_argument('--no-baseline', action='store_true',
+                        help='ignore the baseline file (report '
+                             'everything)')
+    parser.add_argument('--passes', default=None, metavar='P1,P2',
+                        help='comma-separated subset of passes to run '
+                             '(default: all)')
+    parser.add_argument('--format', choices=('text', 'json'),
+                        default='text', help='output format')
+    parser.add_argument('--list-passes', action='store_true',
+                        help='list registered passes and exit')
+    parser.add_argument('--write-baseline', action='store_true',
+                        help='grandfather the current active findings '
+                             'into the baseline file and exit 0 (each '
+                             'entry then needs its "why" filled in)')
+    args = parser.parse_args(argv)
+
+    if args.list_passes:
+        for name in sorted(PASSES):
+            print('%-24s %s' % (name, PASSES[name][1]))
+        return 0
+
+    pass_names = None
+    if args.passes:
+        pass_names = [p.strip() for p in args.passes.split(',') if p.strip()]
+    baseline_path = None if args.no_baseline else args.baseline
+    try:
+        findings, stale = run_passes(args.src, pass_names=pass_names,
+                                     baseline_path=baseline_path)
+    except ValueError as exc:
+        print('replint: %s' % exc, file=sys.stderr)
+        return 2
+
+    active = [f for f in findings if f.active]
+
+    if args.write_baseline:
+        entries = write_baseline(args.baseline, active)
+        print('replint: wrote %d baseline entr%s to %s (fill in each '
+              '"why")' % (len(entries),
+                          'y' if len(entries) == 1 else 'ies',
+                          args.baseline))
+        return 0
+
+    if args.format == 'json':
+        payload = {
+            'passes': sorted(PASSES) if pass_names is None else pass_names,
+            'findings': [f.to_dict() for f in findings],
+            'stale_baseline': stale,
+            'summary': {
+                'total': len(findings),
+                'active': len(active),
+                'suppressed': sum(f.suppressed for f in findings),
+                'baselined': sum(f.baselined for f in findings),
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in active:
+            print(finding.render(), file=sys.stderr)
+        for entry in stale:
+            print('replint: stale baseline entry %s/%s/%s (%s) — the '
+                  'finding no longer exists; remove it'
+                  % (entry['pass'], entry['file'], entry['key'],
+                     entry['why']), file=sys.stderr)
+        quiet = len(findings) - len(active)
+        if active:
+            print('replint: %d active finding(s) (%d suppressed/'
+                  'baselined)' % (len(active), quiet), file=sys.stderr)
+        else:
+            print('replint: OK (%d finding(s) suppressed or baselined)'
+                  % quiet)
+    return 1 if active else 0
+
+
+if __name__ == '__main__':
+    sys.exit(main())

@@ -1,0 +1,301 @@
+"""repro-lint core: findings, the pass registry, suppressions, baseline.
+
+The framework is deliberately small. A *pass* is a function registered
+under a name that takes a :class:`Project` (parsed ASTs plus source
+text for every file under ``src/repro``) and yields :class:`Finding`
+objects. The runner applies two escape hatches before a finding counts
+against the build:
+
+* **suppression comments** — ``# replint: disable=<pass>[,<pass>]`` on
+  the offending line (or on a standalone comment line directly above
+  it) silences named passes for that line; ``disable=all`` silences
+  every pass. Suppressions are for sites that are *deliberately*
+  outside a rule (e.g. wall-clock reads in the CLI's elapsed-time
+  display) and should carry a justification in the same comment.
+* **the baseline file** — a checked-in JSON list of grandfathered
+  findings (``tools/replint/baseline.json``). A finding matches a
+  baseline entry on its stable fingerprint ``(pass, file, key)`` —
+  never on line numbers, which drift. Baseline entries require a
+  ``why`` justification; stale entries (matching nothing) are reported
+  so the file shrinks as debt is paid down.
+
+Passes should derive ``key`` from *what* is wrong (the offending name,
+the rule violated), not *where*, so findings stay pinned across
+unrelated edits to the same file.
+"""
+
+import ast
+import json
+import re
+from pathlib import Path
+
+#: pass name -> (function, one-line description)
+PASSES = {}
+
+SUPPRESS_RE = re.compile(r'#\s*replint:\s*disable=([\w\-,]+)')
+
+
+def register_pass(name, description):
+    """Decorator: register ``fn(project) -> iterable[Finding]``."""
+    def deco(fn):
+        if name in PASSES:
+            raise ValueError('duplicate pass %r' % name)
+        PASSES[name] = (fn, description)
+        return fn
+    return deco
+
+
+class Finding:
+    """One rule violation at a source location."""
+
+    __slots__ = ('pass_name', 'path', 'line', 'key', 'message',
+                 'suppressed', 'baselined')
+
+    def __init__(self, pass_name, path, line, key, message):
+        self.pass_name = pass_name
+        self.path = str(path)        # repo-relative, '/'-separated
+        self.line = line
+        self.key = key               # stable fingerprint component
+        self.message = message
+        self.suppressed = False
+        self.baselined = False
+
+    @property
+    def fingerprint(self):
+        return (self.pass_name, self.path, self.key)
+
+    @property
+    def active(self):
+        """Counts against the build (not suppressed, not baselined)."""
+        return not (self.suppressed or self.baselined)
+
+    def to_dict(self):
+        return {
+            'pass': self.pass_name,
+            'file': self.path,
+            'line': self.line,
+            'key': self.key,
+            'message': self.message,
+            'suppressed': self.suppressed,
+            'baselined': self.baselined,
+        }
+
+    def render(self):
+        return '%s:%d: [%s] %s' % (self.path, self.line,
+                                   self.pass_name, self.message)
+
+    def __repr__(self):
+        return '<Finding %s %s:%d %s>' % (self.pass_name, self.path,
+                                          self.line, self.key)
+
+
+class SourceFile:
+    """One parsed source file plus its per-line suppression table."""
+
+    def __init__(self, path, rel):
+        self.path = Path(path)
+        self.rel = str(rel).replace('\\', '/')
+        self.text = self.path.read_text()
+        self.lines = self.text.splitlines()
+        self.tree = ast.parse(self.text, filename=str(path))
+        self.suppressions = self._parse_suppressions()
+
+    def _parse_suppressions(self):
+        """``{line_number: {pass names}}`` (1-based), where a
+        standalone suppression comment also covers the next line."""
+        table = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = SUPPRESS_RE.search(line)
+            if not match:
+                continue
+            names = {p.strip() for p in match.group(1).split(',')
+                     if p.strip()}
+            table.setdefault(lineno, set()).update(names)
+            if line.lstrip().startswith('#'):
+                # Standalone comment: applies to the line below too.
+                table.setdefault(lineno + 1, set()).update(names)
+        return table
+
+    def is_suppressed(self, pass_name, lineno):
+        names = self.suppressions.get(lineno)
+        return bool(names) and (pass_name in names or 'all' in names)
+
+    def __repr__(self):
+        return '<SourceFile %s>' % self.rel
+
+
+class Project:
+    """Every python file under ``src_root/repro``, parsed once."""
+
+    def __init__(self, src_root):
+        self.src_root = Path(src_root)
+        self.files = []
+        top = self.src_root / 'repro'
+        for path in sorted(top.rglob('*.py')):
+            rel = path.relative_to(self.src_root)
+            self.files.append(SourceFile(path, rel))
+        self.by_rel = {f.rel: f for f in self.files}
+
+    def file(self, rel):
+        """The :class:`SourceFile` at repo-src-relative ``rel``
+        (e.g. ``'repro/obs/phases.py'``), or None."""
+        return self.by_rel.get(rel)
+
+    def __repr__(self):
+        return '<Project %s: %d files>' % (self.src_root, len(self.files))
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers (used by several passes)
+# ----------------------------------------------------------------------
+
+def module_constants(tree):
+    """``{name: value}`` of module-level ``NAME = <literal>`` bindings.
+
+    Resolves plain string/number constants and tuples/lists/sets/dicts
+    /frozensets built from them or from already-resolved names — enough
+    to extract the obs taxonomies and the protocol transition tables
+    without importing the module under analysis.
+    """
+    consts = {}
+
+    def resolve(node):
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Name) and node.id in consts:
+            return consts[node.id]
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return tuple(resolve(e) for e in node.elts)
+        if isinstance(node, ast.Dict):
+            return {resolve(k): resolve(v)
+                    for k, v in zip(node.keys, node.values)}
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id == 'frozenset' and len(node.args) == 1):
+            value = resolve(node.args[0])
+            if isinstance(value, (tuple, dict)):
+                return tuple(value)
+            return value
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            left, right = resolve(node.left), resolve(node.right)
+            if isinstance(left, tuple) and isinstance(right, tuple):
+                return left + right
+        raise ValueError('unresolvable')
+
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = [t for t in node.targets if isinstance(t, ast.Name)]
+        elif (isinstance(node, ast.AnnAssign) and node.value is not None
+                and isinstance(node.target, ast.Name)):
+            targets = [node.target]
+        if not targets:
+            continue
+        try:
+            value = resolve(node.value)
+        except ValueError:
+            continue
+        for target in targets:
+            consts[target.id] = value
+    return consts
+
+
+def call_name(node):
+    """Dotted name of a call's callee: ``'time.time'``, ``'sorted'``,
+    ``'self.sim.trace.count'`` — or None for computed callees."""
+    parts = []
+    cur = node.func
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+    elif not parts:
+        return None
+    return '.'.join(reversed(parts))
+
+
+def walk_with_suppression(source, pass_name):
+    """Yield every AST node in ``source`` not suppressed for
+    ``pass_name`` at its line."""
+    for node in ast.walk(source.tree):
+        lineno = getattr(node, 'lineno', None)
+        if lineno is not None and source.is_suppressed(pass_name, lineno):
+            continue
+        yield node
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+def load_baseline(path):
+    """Baseline entries from ``path`` (missing file = empty baseline).
+    Each entry needs ``pass``/``file``/``key``/``why``."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries = json.loads(path.read_text() or '[]')
+    for entry in entries:
+        for field in ('pass', 'file', 'key', 'why'):
+            if field not in entry:
+                raise ValueError('baseline entry %r missing %r'
+                                 % (entry, field))
+    return entries
+
+
+def write_baseline(path, findings):
+    """Write the active ``findings`` as a fresh baseline (the operator
+    must then fill in each ``why``)."""
+    entries = [{'pass': f.pass_name, 'file': f.path, 'key': f.key,
+                'why': 'TODO: justify or fix'} for f in findings]
+    entries.sort(key=lambda e: (e['file'], e['pass'], e['key']))
+    Path(path).write_text(json.dumps(entries, indent=2, sort_keys=True)
+                          + '\n')
+    return entries
+
+
+def apply_baseline(findings, entries):
+    """Mark findings matching a baseline fingerprint; returns the list
+    of stale entries (grandfathered debt that no longer exists)."""
+    fingerprints = {}
+    for entry in entries:
+        fingerprints[(entry['pass'], entry['file'], entry['key'])] = entry
+    used = set()
+    for finding in findings:
+        if finding.fingerprint in fingerprints:
+            finding.baselined = True
+            used.add(finding.fingerprint)
+    return [entry for key, entry in fingerprints.items() if key not in used]
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+def run_passes(src_root, pass_names=None, baseline_path=None):
+    """Run ``pass_names`` (default: all registered, sorted) over
+    ``src_root`` and return ``(findings, stale_baseline_entries)``.
+
+    Suppression comments and the baseline are already applied: check
+    ``finding.active`` for what should fail the build.
+    """
+    project = Project(src_root)
+    if pass_names is None:
+        pass_names = sorted(PASSES)
+    findings = []
+    for name in pass_names:
+        if name not in PASSES:
+            raise ValueError('unknown pass %r (have: %s)'
+                             % (name, ', '.join(sorted(PASSES))))
+        fn, _ = PASSES[name]
+        for finding in fn(project):
+            source = project.by_rel.get(finding.path)
+            if source is not None and source.is_suppressed(
+                    finding.pass_name, finding.line):
+                finding.suppressed = True
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.pass_name, f.key))
+    stale = []
+    if baseline_path is not None:
+        stale = apply_baseline(findings, load_baseline(baseline_path))
+    return findings, stale

@@ -1,0 +1,8 @@
+"""Built-in repro-lint passes. Importing this package registers all of
+them with the framework's pass registry."""
+
+from . import determinism      # noqa: F401
+from . import layering         # noqa: F401
+from . import protocol         # noqa: F401
+from . import rng              # noqa: F401
+from . import taxonomy         # noqa: F401

@@ -1,0 +1,202 @@
+"""determinism pass: no wall clocks, no global RNG, no hash-order leaks.
+
+The simulation's contract is bit-reproducibility: same seed, same
+bytes (DESIGN.md; the chaos/traffic determinism gates in CI). Three
+statically-detectable families break it:
+
+* **wall-clock reads** — ``time.time``/``monotonic``/``perf_counter``/
+  ``datetime.now`` etc. inside ``src/repro`` leak host time into
+  simulation state. (Wall-clock *profiling* of the pipeline itself is
+  legitimate and carries a suppression with its justification.)
+* **global-RNG draws** — module-level ``random.random()``/``randint``/
+  ``choice``/``shuffle``/``sample`` share one process-wide generator:
+  any new caller perturbs every other consumer's draws. ``random.Random``
+  *construction* discipline is the separate ``rng-discipline`` pass.
+* **hash-order iteration** — iterating a ``set``/``frozenset`` into an
+  ordering-sensitive sink (``min``/``max``/``list``/``tuple``/
+  ``enumerate``/``join``, a list comprehension, or a loop body that
+  builds a list) depends on string-hash randomization, exactly the
+  fig5 costop-set bug class. Membership tests and order-insensitive
+  folds over sets are fine; so is dict iteration (insertion-ordered).
+  Wrap the sink's input in ``sorted(...)`` to fix. ``sorted(..., key=id)``
+  (and ``min``/``max`` keyed on ``id``) is flagged too: CPython object
+  addresses differ run to run.
+"""
+
+import ast
+
+from ..framework import Finding, call_name, register_pass
+
+PASS = 'determinism'
+
+#: Callee dotted names that read the host clock.
+WALL_CLOCKS = frozenset((
+    'time.time', 'time.time_ns', 'time.monotonic', 'time.monotonic_ns',
+    'time.perf_counter', 'time.perf_counter_ns', 'time.process_time',
+    'time.process_time_ns',
+    'datetime.now', 'datetime.utcnow', 'datetime.today',
+    'datetime.datetime.now', 'datetime.datetime.utcnow',
+    'datetime.datetime.today', 'datetime.date.today', 'date.today',
+))
+
+#: Module-level ``random.*`` functions (the shared global generator).
+GLOBAL_RNG = frozenset((
+    'random', 'randint', 'randrange', 'uniform', 'choice', 'choices',
+    'shuffle', 'sample', 'expovariate', 'gauss', 'normalvariate',
+    'betavariate', 'triangular', 'seed', 'getrandbits', 'paretovariate',
+))
+
+#: Builtin sinks whose output order follows their input's iteration
+#: order (``sorted`` is the fix, not a sink).
+ORDER_SINKS = frozenset(('min', 'max', 'list', 'tuple', 'enumerate',
+                         'iter', 'reversed'))
+
+
+def _is_set_expr(node, local_sets):
+    """True when ``node`` is statically known to evaluate to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in ('set', 'frozenset'):
+            return True
+        # set.union/intersection/difference/symmetric_difference chains
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in ('union', 'intersection',
+                                       'difference',
+                                       'symmetric_difference')
+                and _is_set_expr(node.func.value, local_sets)):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return (_is_set_expr(node.left, local_sets)
+                or _is_set_expr(node.right, local_sets))
+    if isinstance(node, ast.Name):
+        return node.id in local_sets
+    return False
+
+
+def _local_set_names(scope):
+    """Names assigned a set expression anywhere in ``scope`` (one
+    function body or the module). One-pass flow-insensitive: good
+    enough to catch ``s = set(...) ... for x in s``."""
+    names = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value, names):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif (isinstance(node, ast.AugAssign)
+                and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub,
+                                         ast.BitXor))
+                and isinstance(node.target, ast.Name)
+                and _is_set_expr(node.value, names)):
+            names.add(node.target.id)
+    return names
+
+
+def _loop_builds_list(loop):
+    """True when a ``for`` body appends/extends or yields — i.e. the
+    iteration order becomes data."""
+    for node in ast.walk(loop):
+        if node is loop:
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ('append', 'extend', 'insert')):
+            return True
+    return False
+
+
+def _scopes(tree):
+    """Yield (scope_node, local_set_names) for the module and each
+    function, so set-name tracking respects function boundaries."""
+    yield tree, _local_set_names(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, _local_set_names(node)
+
+
+def _walk_scope(scope):
+    """Walk ``scope`` without descending into nested functions (each
+    nested function is its own scope entry)."""
+    stack = [scope]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            yield child
+            stack.append(child)
+
+
+def _check_order_sensitive(source, scope, local_sets):
+    for node in _walk_scope(scope):
+        if isinstance(node, ast.For) and _is_set_expr(node.iter, local_sets):
+            if _loop_builds_list(node):
+                yield Finding(
+                    PASS, source.rel, node.lineno, 'set-iteration',
+                    'loop over a set builds ordered output; iterate '
+                    'sorted(...) instead (hash-order nondeterminism)')
+        elif isinstance(node, ast.ListComp):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter, local_sets):
+                    yield Finding(
+                        PASS, source.rel, node.lineno, 'set-iteration',
+                        'list comprehension over a set; wrap the '
+                        'iterable in sorted(...) '
+                        '(hash-order nondeterminism)')
+        elif isinstance(node, ast.Call):
+            name = call_name(node)
+            if name in ORDER_SINKS and node.args and _is_set_expr(
+                    node.args[0], local_sets):
+                yield Finding(
+                    PASS, source.rel, node.lineno, 'set-iteration',
+                    '%s() over a set is hash-ordered; pass '
+                    'sorted(...) instead' % name)
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == 'join' and node.args
+                    and _is_set_expr(node.args[0], local_sets)):
+                yield Finding(
+                    PASS, source.rel, node.lineno, 'set-iteration',
+                    'str.join over a set is hash-ordered; pass '
+                    'sorted(...) instead')
+            if name in ('sorted', 'min', 'max') or (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == 'sort'):
+                for kw in node.keywords:
+                    if (kw.arg == 'key' and isinstance(kw.value, ast.Name)
+                            and kw.value.id == 'id'):
+                        yield Finding(
+                            PASS, source.rel, node.lineno, 'id-ordering',
+                            'ordering keyed on id(): object addresses '
+                            'change run to run; key on a stable field')
+
+
+@register_pass(PASS, 'wall clocks, global RNG, hash-order iteration')
+def run(project):
+    for source in project.files:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in WALL_CLOCKS:
+                yield Finding(
+                    PASS, source.rel, node.lineno,
+                    'wallclock:%s' % name,
+                    '%s() reads the host clock inside the simulator; '
+                    'use sim.now (suppress only for pipeline '
+                    'profiling/UX, with a justification)' % name)
+            elif (name is not None and name.startswith('random.')
+                    and name.split('.', 1)[1] in GLOBAL_RNG):
+                yield Finding(
+                    PASS, source.rel, node.lineno,
+                    'global-rng:%s' % name,
+                    '%s() draws from the process-global generator; '
+                    'draw from sim.rng.stream(<name>) instead' % name)
+        for scope, local_sets in _scopes(source.tree):
+            yield from _check_order_sensitive(source, scope, local_sets)

@@ -1,0 +1,133 @@
+"""protocol-exhaustiveness pass: the SA transition table is total.
+
+``repro/core/protocol.py`` declares the per-vCPU SA state machine:
+``SA_STATES``, ``SA_EDGES``, the legal table ``LEGAL_TRANSITIONS``,
+and the *declared-illegal* table ``ILLEGAL_TRANSITIONS``. Illegal
+edges are recorded at runtime rather than raised, so nothing ever
+crashes on a missing entry — which is precisely why totality must be
+checked statically: a new edge constant added without classifying all
+six states against it silently becomes "illegal by omission", and the
+sanitizer can no longer distinguish a deliberate prohibition from an
+unconsidered case.
+
+The pass extracts both tables from the AST (no import of the module
+under analysis) and checks:
+
+* every ``SA_*`` state constant is listed in ``SA_STATES``, every
+  ``EDGE_*`` constant in ``SA_EDGES`` (drift guard for the tuples);
+* every ``(state, edge)`` pair in ``SA_STATES x SA_EDGES`` appears in
+  exactly one of the two tables — no omissions, no contradictions;
+* no table entry references an undeclared state or edge.
+"""
+
+import ast
+
+from ..framework import Finding, module_constants, register_pass
+
+PASS = 'protocol-exhaustiveness'
+
+PROTOCOL_FILE = 'repro/core/protocol.py'
+
+
+def _line_of(tree, name, default=1):
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.lineno
+    return default
+
+
+@register_pass(PASS, 'every (state, edge) pair is a declared-legal or '
+                     'declared-illegal SA protocol transition')
+def run(project):
+    source = project.file(PROTOCOL_FILE)
+    if source is None:
+        return
+    consts = module_constants(source.tree)
+    rel = source.rel
+
+    states = consts.get('SA_STATES')
+    edges = consts.get('SA_EDGES')
+    legal = consts.get('LEGAL_TRANSITIONS')
+    illegal = consts.get('ILLEGAL_TRANSITIONS')
+
+    missing = [name for name, value in (
+        ('SA_STATES', states), ('SA_EDGES', edges),
+        ('LEGAL_TRANSITIONS', legal), ('ILLEGAL_TRANSITIONS', illegal),
+    ) if value is None]
+    if missing:
+        for name in missing:
+            yield Finding(
+                PASS, rel, 1, 'missing-table:%s' % name,
+                '%s is not declared (or not statically resolvable) in '
+                'core/protocol.py' % name)
+        return
+
+    states = tuple(states)
+    edges = tuple(edges)
+    legal_pairs = set(legal.keys())
+    illegal_pairs = set(tuple(p) for p in illegal)
+
+    # Tuple-membership drift: a constant defined but left out of the
+    # enumerations would make the product check silently too small.
+    for name, value in sorted(consts.items()):
+        if name.startswith('SA_') and isinstance(value, str) \
+                and value not in states:
+            yield Finding(
+                PASS, rel, _line_of(source.tree, name),
+                'unlisted-state:%s' % value,
+                'state constant %s=%r is not listed in SA_STATES'
+                % (name, value))
+        elif name.startswith('EDGE_') and isinstance(value, str) \
+                and value not in edges:
+            yield Finding(
+                PASS, rel, _line_of(source.tree, name),
+                'unlisted-edge:%s' % value,
+                'edge constant %s=%r is not listed in SA_EDGES'
+                % (name, value))
+
+    legal_line = _line_of(source.tree, 'LEGAL_TRANSITIONS')
+    illegal_line = _line_of(source.tree, 'ILLEGAL_TRANSITIONS')
+
+    for table_name, line, pairs in (
+            ('LEGAL_TRANSITIONS', legal_line, sorted(legal_pairs)),
+            ('ILLEGAL_TRANSITIONS', illegal_line, sorted(illegal_pairs))):
+        for state, edge in pairs:
+            if state not in states:
+                yield Finding(
+                    PASS, rel, line, 'unknown-state:%s' % state,
+                    '%s references undeclared state %r'
+                    % (table_name, state))
+            if edge not in edges:
+                yield Finding(
+                    PASS, rel, line, 'unknown-edge:%s' % edge,
+                    '%s references undeclared edge %r'
+                    % (table_name, edge))
+
+    # Legal targets must be declared states too.
+    for (state, edge), target in sorted(legal.items()):
+        if target not in states:
+            yield Finding(
+                PASS, rel, legal_line, 'unknown-target:%s' % target,
+                'LEGAL_TRANSITIONS maps (%s, %s) to undeclared state %r'
+                % (state, edge, target))
+
+    for state in states:
+        for edge in edges:
+            pair = (state, edge)
+            in_legal = pair in legal_pairs
+            in_illegal = pair in illegal_pairs
+            if in_legal and in_illegal:
+                yield Finding(
+                    PASS, rel, illegal_line,
+                    'contradiction:%s:%s' % pair,
+                    '(%s, %s) is declared both legal and illegal'
+                    % pair)
+            elif not in_legal and not in_illegal:
+                yield Finding(
+                    PASS, rel, legal_line,
+                    'unclassified:%s:%s' % pair,
+                    '(%s, %s) is in neither LEGAL_TRANSITIONS nor '
+                    'ILLEGAL_TRANSITIONS; classify the pair explicitly'
+                    % pair)

@@ -1,0 +1,69 @@
+"""rng-discipline pass: every generator flows through the named-stream
+registry.
+
+:class:`repro.simkernel.rng.RngRegistry` derives one ``random.Random``
+per *named stream* from the experiment seed, so adding a consumer of
+randomness never perturbs the draws of existing consumers. That
+guarantee only holds if nobody constructs a private ``random.Random``
+on the side: a raw construction is either unseeded (nondeterministic)
+or seeded ad hoc (its draws silently shift when call sites move).
+
+Rules, everywhere in ``src/repro`` except the registry itself:
+
+* no ``random.Random(...)`` / ``random.SystemRandom(...)`` calls —
+  obtain a stream via ``sim.rng.stream('component.purpose')``;
+* no ``import random`` / ``from random import ...`` at module level —
+  there is nothing to legitimately import once construction is
+  centralized (type references included: name streams, not classes).
+"""
+
+import ast
+
+from ..framework import Finding, call_name, register_pass
+
+PASS = 'rng-discipline'
+
+#: The one module allowed to touch ``random`` directly.
+ALLOWED = 'repro/simkernel/rng.py'
+
+CONSTRUCTORS = frozenset(('random.Random', 'random.SystemRandom',
+                          'Random', 'SystemRandom'))
+
+
+@register_pass(PASS, 'random.Random construction must use the '
+                     'simkernel named-stream registry')
+def run(project):
+    for source in project.files:
+        if source.rel == ALLOWED:
+            continue
+        imports_random = False
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                if any(alias.name == 'random' or
+                       alias.name.startswith('random.')
+                       for alias in node.names):
+                    imports_random = True
+                    yield Finding(
+                        PASS, source.rel, node.lineno, 'import-random',
+                        "'import random' outside the simkernel rng "
+                        'registry; draw from sim.rng.stream(<name>)')
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == 'random' and node.level == 0:
+                    imports_random = True
+                    yield Finding(
+                        PASS, source.rel, node.lineno, 'import-random',
+                        "'from random import ...' outside the simkernel "
+                        'rng registry; draw from sim.rng.stream(<name>)')
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in ('random.Random', 'random.SystemRandom') or (
+                    imports_random and name in ('Random', 'SystemRandom')):
+                yield Finding(
+                    PASS, source.rel, node.lineno,
+                    'raw-random-ctor',
+                    '%s(...) constructs a generator outside the '
+                    'named-stream registry; use '
+                    "sim.rng.stream('component.purpose') so draws "
+                    'stay seed-pure' % name)
